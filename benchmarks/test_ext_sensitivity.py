@@ -1,0 +1,65 @@
+"""Extension: sensitivity of the results to simulator knobs.
+
+Two design choices of the fluid simulator are swept to show the reported
+numbers are not artefacts of them:
+
+* the **scheduling-round interval** (the paper's scheduler also runs
+  periodically; results should be stable across reasonable cadences);
+* the **Quiver profiling noise** (the one stochastic baseline: its JCT
+  should degrade monotonically-ish with instability, bracketing the
+  deterministic case).
+"""
+
+from repro.analysis.tables import render_table
+from benchmarks.conftest import run_cell
+
+INTERVALS = (900.0, 1800.0, 3600.0)
+NOISES = (0.0, 0.15, 0.5)
+
+
+def run_sweeps():
+    intervals = {
+        interval: run_cell(
+            "fifo", "silod", reschedule_interval_s=interval
+        )
+        for interval in INTERVALS
+    }
+    noises = {
+        noise: run_cell(
+            "fifo",
+            "quiver",
+            cluster_key=f"noise-{noise}",
+            cache_kwargs=(("profile_noise", noise),),
+        )
+        for noise in NOISES
+    }
+    return intervals, noises
+
+
+def test_ext_sensitivity(benchmark, report):
+    intervals, noises = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    rows = [
+        {
+            "knob": f"reschedule every {int(interval)} s",
+            "avg JCT (min)": result.average_jct_minutes(),
+        }
+        for interval, result in intervals.items()
+    ] + [
+        {
+            "knob": f"quiver profile noise {noise}",
+            "avg JCT (min)": result.average_jct_minutes(),
+        }
+        for noise, result in noises.items()
+    ]
+    report(
+        "ext_sensitivity",
+        render_table(rows, title="Extension: sensitivity sweeps"),
+    )
+    # Scheduling cadence: JCT stable within 10% across a 4x range.
+    jcts = [r.average_jct_minutes() for r in intervals.values()]
+    assert max(jcts) / min(jcts) < 1.10
+    # Quiver instability: heavy noise is no better than none.
+    assert (
+        noises[0.5].average_jct_minutes()
+        >= noises[0.0].average_jct_minutes() * 0.98
+    )

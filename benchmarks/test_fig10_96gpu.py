@@ -1,0 +1,75 @@
+"""Figure 10: the 96-GPU cluster — avg JCT, makespan, JCT distribution.
+
+Paper (FIFO-scheduled 96-GPU cluster, 8 Gbps egress): SiloD improves
+average JCT by up to 2.16x and makespan by up to 2.07x over the decoupled
+baselines, and its JCT CDF dominates — the gains come from cluster
+efficiency, not from sacrificing some class of jobs.
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim.metrics import percentile_jct_minutes
+from benchmarks.conftest import run_cell_96
+
+CACHES = ("silod", "alluxio", "coordl", "quiver")
+
+
+def run_96gpu():
+    return {cache: run_cell_96("fifo", cache) for cache in CACHES}
+
+
+def test_fig10_96gpu_jct_and_makespan(benchmark, report):
+    results = benchmark.pedantic(run_96gpu, rounds=1, iterations=1)
+
+    rows = []
+    silod_jct = results["silod"].average_jct_minutes()
+    for cache in CACHES:
+        result = results[cache]
+        rows.append(
+            {
+                "cache": cache,
+                "avg JCT (min)": result.average_jct_minutes(),
+                "JCT vs SiloD": result.average_jct_minutes() / silod_jct,
+                "makespan (min)": result.makespan_minutes(),
+            }
+        )
+    cdf_rows = []
+    for cache in CACHES:
+        pct = percentile_jct_minutes(results[cache], [25, 50, 75, 90, 99])
+        cdf_rows.append(
+            {
+                "cache": cache,
+                "p25": pct[25],
+                "p50": pct[50],
+                "p75": pct[75],
+                "p90": pct[90],
+                "p99": pct[99],
+            }
+        )
+    report(
+        "fig10_96gpu",
+        render_table(rows, title="Figure 10a: 96-GPU JCT & makespan")
+        + "\n\n"
+        + render_table(
+            cdf_rows, title="Figure 10b: JCT distribution (minutes)"
+        ),
+    )
+
+    jct = {c: results[c].average_jct_minutes() for c in CACHES}
+    # SiloD best (Quiver may statistically tie, as in the paper's own
+    # 400-GPU FIFO simulation where the gap is 1.03x); Alluxio/CoorDL in
+    # the paper's 1.6-2.2x band (generous 1.3-3.5x envelope for the
+    # scaled trace).
+    assert jct["silod"] <= 1.03 * min(jct.values())
+    assert 1.3 < jct["alluxio"] / jct["silod"] < 3.5
+    assert 1.3 < jct["coordl"] / jct["silod"] < 3.5
+    # Makespan: SiloD within a few percent of best (paper: up to 2.07x
+    # better than the weakest baseline).
+    makespan = {c: results[c].makespan_minutes() for c in CACHES}
+    assert makespan["silod"] <= 1.05 * min(makespan.values())
+    assert max(makespan.values()) / makespan["silod"] > 1.1
+    # CDF dominance at the quartiles (Figure 10b's "constantly better").
+    for cache in ("alluxio", "coordl"):
+        pct_s = percentile_jct_minutes(results["silod"], [50, 75, 90])
+        pct_b = percentile_jct_minutes(results[cache], [50, 75, 90])
+        dominated = sum(pct_s[p] <= pct_b[p] * 1.05 for p in (50, 75, 90))
+        assert dominated >= 2, cache

@@ -1,0 +1,64 @@
+"""Figure 11: throughput and remote IO over time in the 96-GPU cluster.
+
+The paper plots, per cache system, the real training throughput against
+the ideal (compute-bound) throughput and the remote-IO consumption: SiloD
+tracks the ideal line closely; CoorDL saves the least remote IO; Alluxio's
+LRU fluctuates but beats CoorDL cluster-wide.
+"""
+
+from repro.analysis.tables import render_table
+from benchmarks.conftest import run_cell_96
+
+CACHES = ("silod", "coordl", "alluxio", "quiver")
+
+
+def run_timelines():
+    return {cache: run_cell_96("fifo", cache) for cache in CACHES}
+
+
+def busy_samples(result):
+    return [
+        s
+        for s in result.timeline
+        if s.running_jobs > 0 and s.ideal_throughput_mbps > 0
+    ]
+
+
+def test_fig11_throughput_vs_ideal(benchmark, report):
+    results = benchmark.pedantic(run_timelines, rounds=1, iterations=1)
+
+    rows = []
+    efficiency = {}
+    io_saved = {}
+    for cache in CACHES:
+        samples = busy_samples(results[cache])
+        achieved = sum(s.total_throughput_mbps for s in samples)
+        ideal = sum(s.ideal_throughput_mbps for s in samples)
+        io_used = sum(s.remote_io_used_mbps for s in samples)
+        efficiency[cache] = achieved / ideal
+        io_saved[cache] = (achieved - io_used) / max(achieved, 1e-9)
+        rows.append(
+            {
+                "cache": cache,
+                "achieved/ideal": efficiency[cache],
+                "mean throughput (MB/s)": achieved / len(samples),
+                "mean remote IO (MB/s)": io_used / len(samples),
+                "fraction served from cache": io_saved[cache],
+            }
+        )
+    report(
+        "fig11_96gpu_timeline",
+        render_table(
+            rows,
+            title="Figure 11: throughput vs ideal and remote IO (96 GPUs)",
+        ),
+    )
+
+    # SiloD is closest to the ideal line and serves the most from cache
+    # (Quiver may tie within noise, mirroring the paper's simulation).
+    assert efficiency["silod"] >= max(efficiency.values()) - 0.02
+    assert io_saved["silod"] >= max(io_saved.values()) - 0.01
+    # CoorDL benefits the least from cache among the uniform systems
+    # (the paper's "CoorDL benefits the least" observation).
+    assert io_saved["coordl"] <= io_saved["silod"]
+    assert io_saved["coordl"] <= io_saved["quiver"]

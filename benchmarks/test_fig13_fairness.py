@@ -1,0 +1,70 @@
+"""Figure 13: fairness ratio over time under Gavel.
+
+The paper: SiloD's average fairness ratio is 2.56 versus 1.51 (CoorDL),
+1.39 (Alluxio), 1.35 (Quiver) — up to 1.89x better. Our scaled trace
+reproduces the ordering and a SiloD-over-worst gap of ~1.5x (absolute
+values differ: the paper's 4-week queue keeps equal shares far below
+achievable throughput, inflating every ratio; see EXPERIMENTS.md).
+
+The §7.2 ablation (disable remote-IO allocation, keep cache co-design)
+is also run. In the paper it degrades fairness by 31% with <2% JCT
+change; in our reproduction the data manager's grants and the
+work-conserving fair share coincide almost everywhere, so the measured
+effect is near zero — reported, not hidden.
+"""
+
+from repro.analysis.tables import render_table
+from benchmarks.conftest import run_cell
+
+CACHES = ("silod", "coordl", "alluxio", "quiver")
+#: Deeper sustained load than Figure 12's grid: fairness gaps only appear
+#: once cache and egress are genuinely scarce per job.
+TRACE = (("load", 2.5),)
+
+
+def run_fairness():
+    results = {
+        cache: run_cell("gavel", cache, trace_kwargs=TRACE)
+        for cache in CACHES
+    }
+    results["silod-no-io-alloc"] = run_cell(
+        "gavel", "silod-no-io-alloc", trace_kwargs=TRACE
+    )
+    return results
+
+
+def test_fig13_fairness_under_gavel(benchmark, report):
+    results = benchmark.pedantic(run_fairness, rounds=1, iterations=1)
+    fairness = {
+        name: result.average_fairness_ratio()
+        for name, result in results.items()
+    }
+    rows = [
+        {
+            "system": name,
+            "avg fairness ratio": value,
+            "avg JCT (min)": results[name].average_jct_minutes(),
+        }
+        for name, value in sorted(fairness.items(), key=lambda kv: -kv[1])
+    ]
+    report(
+        "fig13_fairness",
+        render_table(rows, title="Figure 13: fairness under Gavel"),
+    )
+
+    # SiloD is the fairest system; the gap to the worst baseline matches
+    # the paper's up-to-1.89x scale.
+    assert fairness["silod"] == max(
+        fairness[c] for c in CACHES
+    )
+    assert fairness["silod"] > 1.4 * fairness["alluxio"]
+    for cache in ("coordl", "quiver"):
+        assert fairness["silod"] > 1.04 * fairness[cache], cache
+
+    # Ablation: never *better* than the full co-design, and JCT barely
+    # moves (the paper reports a 31% fairness drop; our work-conserving
+    # enforcement masks most of it — see the module docstring).
+    assert fairness["silod-no-io-alloc"] <= fairness["silod"] + 1e-6
+    jct_full = results["silod"].average_jct_minutes()
+    jct_ablated = results["silod-no-io-alloc"].average_jct_minutes()
+    assert abs(jct_ablated - jct_full) / jct_full < 0.05

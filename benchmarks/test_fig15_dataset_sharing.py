@@ -1,0 +1,65 @@
+"""Figure 15: benefit of dataset sharing.
+
+The paper varies the fraction of jobs sharing datasets (0/25/50/100%):
+average JCT falls as sharing rises (~22% for SJF/Gavel at full sharing;
+FIFO-SiloD is already near the optimum of its fixed order, gaining ~7%).
+"""
+
+from repro.analysis.tables import render_table
+from benchmarks.conftest import run_cell
+
+FRACTIONS = (0.0, 0.25, 0.5, 1.0)
+POLICIES = ("fifo", "sjf")
+
+
+def run_sweep():
+    results = {}
+    for policy in POLICIES:
+        for fraction in FRACTIONS:
+            trace_kwargs = (
+                (("shared_dataset_fraction", fraction),)
+                if fraction > 0
+                else ()
+            )
+            results[(policy, fraction)] = run_cell(
+                policy, "silod", trace_kwargs=trace_kwargs
+            )
+    return results
+
+
+def test_fig15_dataset_sharing(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for policy in POLICIES:
+        base = results[(policy, 0.0)].average_jct_minutes()
+        for fraction in FRACTIONS:
+            jct = results[(policy, fraction)].average_jct_minutes()
+            rows.append(
+                {
+                    "scheduler": policy,
+                    "% sharing": 100 * fraction,
+                    "avg JCT (min)": jct,
+                    "improvement %": 100 * (1 - jct / base),
+                }
+            )
+    report(
+        "fig15_dataset_sharing",
+        render_table(rows, title="Figure 15: impact of dataset sharing"),
+    )
+
+    for policy in POLICIES:
+        base = results[(policy, 0.0)].average_jct_minutes()
+        full = results[(policy, 1.0)].average_jct_minutes()
+        # Full sharing helps (paper: 6.9%-22%).
+        assert full < base, policy
+    # Full sharing brings a measurable improvement for both schedulers.
+    # Paper: 6.9% under FIFO (close to our ~7%) and ~22% under SJF/Gavel
+    # (our scaled trace is queueing-dominated, so SJF lands lower).
+    fifo_gain = 1 - results[("fifo", 1.0)].average_jct_minutes() / results[
+        ("fifo", 0.0)
+    ].average_jct_minutes()
+    sjf_gain = 1 - results[("sjf", 1.0)].average_jct_minutes() / results[
+        ("sjf", 0.0)
+    ].average_jct_minutes()
+    assert fifo_gain > 0.04, fifo_gain
+    assert sjf_gain > 0.03, sjf_gain

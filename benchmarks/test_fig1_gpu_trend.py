@@ -1,0 +1,25 @@
+"""Figure 1: GPU single-precision performance vs cloud egress limits."""
+
+from repro.analysis.tables import render_table
+from repro.cluster.hardware import (
+    compute_growth_vs_egress_growth,
+    gpu_trend_series,
+)
+
+
+def test_fig1_gpu_vs_egress_trend(benchmark, report):
+    rows = benchmark(gpu_trend_series)
+    gpu_growth, egress_growth = compute_growth_vs_egress_growth()
+    summary = (
+        f"GPU FP32 growth 2015-2022: {gpu_growth:.0f}x; "
+        f"egress-limit growth: {egress_growth:.0f}x"
+    )
+    report(
+        "fig1_gpu_trend",
+        render_table(rows, title="Figure 1: GPU perf vs egress limits")
+        + "\n"
+        + summary,
+    )
+    # Paper: 125x vs 12x.
+    assert 100 <= gpu_growth <= 150
+    assert 10 <= egress_growth <= 14

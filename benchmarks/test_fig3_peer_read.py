@@ -1,0 +1,26 @@
+"""Figure 3: distributed-cache peer-read throughput scaling."""
+
+from repro.analysis.tables import render_table
+from repro.cluster.storage import peer_read_scaling_series
+
+
+def test_fig3_peer_read_scaling(benchmark, report):
+    counts = [1, 10, 20, 30, 40, 50]
+    rows = benchmark(peer_read_scaling_series, counts)
+    report(
+        "fig3_peer_read",
+        render_table(
+            rows,
+            title=(
+                "Figure 3: cluster data-loading throughput "
+                "(jobs of 1923 MB/s per server)"
+            ),
+        ),
+    )
+    # Peer reads track the linear no-bottleneck line: the storage fabric
+    # lets 50 servers load as if all data were local.
+    last = rows[-1]
+    assert last["peer_read_gbps"] >= 0.95 * last["linear_gbps"]
+    # And throughput grows monotonically with the cluster.
+    peers = [r["peer_read_gbps"] for r in rows]
+    assert peers == sorted(peers)

@@ -1,0 +1,26 @@
+"""Figure 6: cache efficiency of eleven jobs on a V100."""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.workloads.models import figure6_series
+
+
+def test_fig6_cache_efficiency_spectrum(benchmark, report):
+    rows = benchmark(figure6_series)
+    report(
+        "fig6_cache_efficiency",
+        render_table(
+            rows, title="Figure 6: cache efficiency (MB/s per GB)"
+        ),
+    )
+    assert len(rows) == 11
+    values = [r["cache_efficiency_mbps_per_gb"] for r in rows]
+    # Paper's bar labels, best to worst:
+    # 0.80, 0.48, 0.30, 0.17, 0.10, 0.09, 0.07, 0.05, 0.03, 0.01, 9.5e-5.
+    paper = [0.80, 0.48, 0.30, 0.17, 0.10, 0.09, 0.07, 0.05, 0.03, 0.01,
+             9.5e-5]
+    for ours, theirs in zip(values, paper):
+        assert ours == pytest.approx(theirs, rel=0.35), (ours, theirs)
+    # The motivating >8000x heterogeneity between extremes.
+    assert values[0] / values[-1] > 8000

@@ -1,0 +1,48 @@
+"""Figure 8: effective vs allocated cache over a trace-driven run.
+
+Delayed effectiveness (§6) means newly cached items only pay off from the
+next epoch; the paper measures that on average over 91.7% of cached data
+is effective, so policies may safely ignore the effect.
+"""
+
+from repro.analysis.tables import render_series
+from benchmarks.conftest import run_cell
+
+
+def test_fig8_effective_cache_fraction(benchmark, report):
+    # Longer jobs than the Figure 12 trace (12 h median at ideal speed,
+    # i.e. several epochs each): the warmup epoch, during which freshly
+    # cached bytes cannot hit, then covers a small share of each job's
+    # lifetime — the regime behind the paper's 91.7% average.
+    result = benchmark.pedantic(
+        lambda: run_cell(
+            "fifo",
+            "silod",
+            trace_kwargs=(("duration_median_s", 43200.0),),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = [
+        {
+            "min": round(s.time_s / 60.0),
+            "effective_%": 100.0 * s.effective_cache_mb / s.resident_cache_mb,
+        }
+        for s in result.timeline
+        if s.resident_cache_mb > 1024.0
+    ]
+    fraction = result.average_effective_cache_fraction()
+    report(
+        "fig8_effective_cache",
+        render_series(
+            series[: 40],
+            "min",
+            "effective_%",
+            title="Figure 8: effective / allocated cache (%)",
+            width=36,
+        )
+        + f"\naverage effective fraction: {100 * fraction:.1f}%",
+    )
+    # Paper: >91.7% of cached data is effective on average (their jobs
+    # run tens of epochs; ours run ~4-5, so warmup weighs more).
+    assert fraction > 0.6

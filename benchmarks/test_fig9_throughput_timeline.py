@@ -1,0 +1,62 @@
+"""Figure 9: time-varying total job throughput in the 8-V100 experiment."""
+
+from repro import units
+from repro.analysis.tables import render_series
+from repro.cluster.hardware import microbenchmark_cluster
+from repro.sim.runner import run_experiment
+from repro.workloads.trace import microbenchmark_trace
+
+CACHES = ("silod", "coordl", "alluxio", "quiver")
+
+
+def run_timelines():
+    return {
+        cache: run_experiment(
+            microbenchmark_cluster(),
+            "fifo",
+            cache,
+            microbenchmark_trace(),
+            sample_interval_s=1200.0,
+        )
+        for cache in CACHES
+    }
+
+
+def test_fig9_throughput_timeline(benchmark, report):
+    results = benchmark.pedantic(run_timelines, rounds=1, iterations=1)
+
+    blocks = []
+    peaks = {}
+    for cache, result in results.items():
+        series = [
+            {"min": round(minute), "mbps": mbps}
+            for minute, mbps, _ideal, _io in result.throughput_series()
+            if minute <= 3600
+        ]
+        peaks[cache] = max(p["mbps"] for p in series)
+        blocks.append(
+            render_series(series, "min", "mbps", title=cache, width=36)
+        )
+    report("fig9_throughput_timeline", "\n\n".join(blocks))
+
+    # SiloD reaches the optimal 374 MB/s (all five jobs at ideal speed);
+    # no baseline does.
+    assert peaks["silod"] == max(peaks.values())
+    assert abs(peaks["silod"] - 374.0) / 374.0 < 0.02
+    for cache in ("coordl", "alluxio"):
+        assert peaks[cache] < 0.95 * peaks["silod"]
+
+    # Before cached items become effective (~minute 460) all systems are
+    # within a few percent of each other.
+    def early_mean(result):
+        values = [
+            s.total_throughput_mbps
+            for s in result.timeline
+            if 60 <= units.seconds_to_minutes(s.time_s) <= 300
+        ]
+        return sum(values) / len(values)
+
+    early = {cache: early_mean(r) for cache, r in results.items()}
+    baseline = early["silod"]
+    for cache, value in early.items():
+        assert abs(value - baseline) / baseline < 0.05, cache

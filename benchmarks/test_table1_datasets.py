@@ -1,0 +1,18 @@
+"""Table 1: size and growth of training datasets at Microsoft."""
+
+from repro.analysis.tables import render_table
+from repro.workloads.datasets import table1_rows
+
+
+def test_table1_dataset_growth(benchmark, report):
+    rows = benchmark(table1_rows)
+    report(
+        "table1_datasets",
+        render_table(
+            rows, title="Table 1: dataset sizes (2020 -> +24 months)"
+        ),
+    )
+    # The paper's point: every task grows, some by orders of magnitude.
+    assert len(rows) == 5
+    assert all(row["growth_factor"] > 1 for row in rows)
+    assert max(row["growth_factor"] for row in rows) > 100

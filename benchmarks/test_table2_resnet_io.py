@@ -1,0 +1,25 @@
+"""Table 2: ResNet-50 mixed-precision training speed and IO demand."""
+
+from repro.analysis.tables import render_table
+from repro.cluster.hardware import RESNET50_TABLE2
+
+
+def test_table2_resnet50_io_demands(benchmark, report):
+    rows = benchmark(
+        lambda: [
+            {
+                "GPU": p.gpu_setup,
+                "speed (images/s)": p.images_per_second,
+                "IO (MB/s)": p.io_mb_per_second,
+            }
+            for p in RESNET50_TABLE2
+        ]
+    )
+    report(
+        "table2_resnet_io",
+        render_table(rows, title="Table 2: ResNet-50 on ImageNet"),
+    )
+    by_gpu = {r["GPU"]: r for r in rows}
+    # 8xA100 demands ~1.9 GB/s of data loading — the motivating number.
+    assert by_gpu["8xA100"]["IO (MB/s)"] == 1923.0
+    assert by_gpu["1xV100"]["IO (MB/s)"] == 114.0

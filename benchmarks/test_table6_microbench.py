@@ -1,0 +1,79 @@
+"""Table 6: the 8-V100 micro-benchmark, with simulator fidelity columns.
+
+Reproduces both halves of Table 6: the JCT/makespan comparison of the
+four storage systems, and the relative error between the "testbed" (our
+item-level minibatch emulator, playing the paper's accelerated-K80 /
+real-V100 role) and the fluid simulator.
+"""
+
+from repro.analysis.fidelity import compare_simulators
+from repro.analysis.tables import render_table
+from repro.cluster.hardware import microbenchmark_cluster
+from repro.sim.runner import run_experiment
+from repro.workloads.trace import microbenchmark_trace
+
+CACHES = ("silod", "coordl", "alluxio", "quiver")
+
+
+def run_table6():
+    fluid = {
+        cache: run_experiment(
+            microbenchmark_cluster(),
+            "fifo",
+            cache,
+            microbenchmark_trace(),
+        )
+        for cache in CACHES
+    }
+    fidelity = {
+        cache: compare_simulators(
+            microbenchmark_cluster(),
+            "fifo",
+            cache,
+            microbenchmark_trace(),
+            item_size_mb=512.0,
+        )
+        for cache in CACHES
+    }
+    return fluid, fidelity
+
+
+def test_table6_microbenchmark(benchmark, report):
+    fluid, fidelity = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+
+    rows = []
+    for cache in CACHES:
+        rep = fidelity[cache]
+        rows.append(
+            {
+                "system": cache,
+                "emulated JCT (min)": rep.emulator_jct_min,
+                "simulated JCT (min)": rep.fluid_jct_min,
+                "JCT err %": 100 * rep.jct_error,
+                "emulated makespan": rep.emulator_makespan_min,
+                "simulated makespan": rep.fluid_makespan_min,
+                "makespan err %": 100 * rep.makespan_error,
+            }
+        )
+    report(
+        "table6_microbench",
+        render_table(rows, title="Table 6: 8-V100 micro-benchmark"),
+    )
+
+    jct = {c: fluid[c].average_jct_minutes() for c in CACHES}
+    makespan = {c: fluid[c].makespan_minutes() for c in CACHES}
+    # Paper ordering: SiloD (3366) < Quiver (3609) < CoorDL (4278)
+    # < Alluxio (4378); same for makespan except Quiver/CoorDL order.
+    assert jct["silod"] < jct["quiver"] < jct["coordl"] < jct["alluxio"]
+    assert makespan["silod"] == min(makespan.values())
+    # Paper's relative improvements: Alluxio/SiloD ~ 1.30, CoorDL ~ 1.27,
+    # Quiver ~ 1.07. Check the same band (generously).
+    assert 1.15 <= jct["alluxio"] / jct["silod"] <= 1.6
+    assert 1.10 <= jct["coordl"] / jct["silod"] <= 1.6
+    assert 1.00 <= jct["quiver"] / jct["silod"] <= 1.45
+    # Fidelity: the paper reports JCT errors within ~3.2% and makespan
+    # within ~4.4% for uniform-caching systems; LRU is approximated.
+    for cache in ("silod", "coordl"):
+        assert fidelity[cache].jct_error < 0.05
+        assert fidelity[cache].makespan_error < 0.06
+    assert fidelity["alluxio"].jct_error < 0.10

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Cluster-scale simulation: three schedulers x four cache systems.
+
+A scaled-down version of the paper's 400-GPU experiment (§7.2 / Figure 12):
+a sustained, oversubscribed synthetic trace on a 100-GPU cluster with the
+production cache-per-GPU and egress-per-GPU ratios. Prints the JCT /
+makespan / fairness grid and the fairness-ratio comparison of Figure 13.
+
+Run: ``python examples/cluster_simulation.py``
+(add ``--full`` for the 400-GPU configuration; takes several minutes)
+"""
+
+import sys
+
+from repro import units
+from repro.analysis.tables import render_table
+from repro.cluster.hardware import Cluster, cluster_400gpu
+from repro.sim.runner import run_matrix
+from repro.workloads.trace import (
+    TraceConfig,
+    arrival_rate_for_load,
+    generate_trace,
+)
+
+
+def scaled_cluster() -> Cluster:
+    """A 100-GPU slice of the 400-GPU setup (same per-GPU ratios)."""
+    return Cluster.build(
+        num_servers=25,
+        gpus_per_server=4,
+        cache_per_server_mb=4 * units.gb(368.0),
+        remote_io_mbps=units.gbps(8.0),
+    )
+
+
+def main(full_scale: bool = False) -> None:
+    if full_scale:
+        cluster = cluster_400gpu()
+        cfg = TraceConfig(
+            num_jobs=1200, seed=42, duration_median_s=21600.0,
+            duration_sigma=1.2,
+        )
+    else:
+        cluster = scaled_cluster()
+        cfg = TraceConfig(
+            num_jobs=300, seed=42, duration_median_s=21600.0,
+            duration_sigma=1.2,
+        )
+    cfg.mean_interarrival_s = arrival_rate_for_load(
+        cfg, cluster.total_gpus, load=1.5
+    )
+    jobs = generate_trace(cfg)
+    print(
+        f"Cluster: {cluster.total_gpus} GPUs, "
+        f"{cluster.total_cache_mb / 1024 ** 2:.0f} TB cache, "
+        f"{units.mbps_to_gbps(cluster.remote_io_mbps):.0f} Gbps egress; "
+        f"{len(jobs)} jobs arriving every ~{cfg.mean_interarrival_s:.0f} s\n"
+    )
+
+    results = run_matrix(
+        cluster,
+        jobs,
+        reschedule_interval_s=1800.0,
+        sample_interval_s=3600.0,
+    )
+
+    rows = []
+    for (policy, cache), result in sorted(results.items()):
+        rows.append(
+            {
+                "scheduler": policy,
+                "cache": cache,
+                "avg JCT (min)": result.average_jct_minutes(),
+                "makespan (min)": result.makespan_minutes(),
+                "fairness": result.average_fairness_ratio(),
+            }
+        )
+    print(render_table(rows, title="Figure 12 (reproduced, scaled)"))
+
+    print("\nFigure 13: average fairness ratio under Gavel")
+    fairness_rows = [
+        {
+            "cache": cache,
+            "avg fairness ratio": results[("gavel", cache)]
+            .average_fairness_ratio(),
+        }
+        for cache in ("silod", "coordl", "alluxio", "quiver")
+    ]
+    print(render_table(fairness_rows))
+
+
+if __name__ == "__main__":
+    main(full_scale="--full" in sys.argv)

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Curriculum learning and irregular jobs (§6, §7.4, Figure 16).
+
+Curriculum training samples batches *with replacement* from a growing
+prefix of the (difficulty-sorted) dataset, breaking SiloDPerf's
+once-per-epoch assumption. This example shows:
+
+1. Figure 16a: the exponential pacing function for step sizes 50k / 75k;
+2. Figure 16b: LRU performs as well as uniform caching under curriculum
+   sampling (no thrashing — a re-sampled item hits immediately);
+3. §6's irregular-job partitioning: a curriculum job marked irregular
+   shares a SiloD cluster without disturbing the regular jobs.
+
+Run: ``python examples/curriculum_learning.py``
+"""
+
+from repro.analysis.tables import render_series, render_table
+from repro.cluster.dataset import Dataset
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job
+from repro.sim.runner import make_system
+from repro.sim.fluid import FluidSimulator
+from repro.workloads.curriculum import (
+    ExponentialPacing,
+    simulate_curriculum_jct,
+)
+
+GB = 1024.0
+
+
+def demo_pacing() -> None:
+    print("=== Figure 16a: exponential pacing functions (Eq 10) ===")
+    for step in (50_000, 75_000):
+        pacing = ExponentialPacing(
+            num_items=500_000, starting_percent=0.04, alpha=1.5, step=step
+        )
+        series = pacing.series(total_iterations=500_000, points=10)
+        print(
+            render_series(
+                series,
+                "iteration",
+                "fraction_of_data",
+                title=f"step = {step // 1000}k",
+                width=40,
+            )
+        )
+        print()
+
+
+def demo_uniform_vs_lru() -> None:
+    print("=== Figure 16b: Uniform vs LRU JCT under curriculum ===")
+    dataset = Dataset("imagenet-22k-scaled", 100_000.0, num_items=10_000)
+    rows = []
+    for step in (50_000, 75_000):
+        pacing = ExponentialPacing(
+            num_items=10_000, starting_percent=0.04, alpha=1.5, step=step
+        )
+        for policy in ("uniform", "lru"):
+            result = simulate_curriculum_jct(
+                dataset=dataset,
+                pacing=pacing,
+                total_iterations=500_000,
+                cache_mb=50_000.0,
+                policy=policy,
+                compute_step_s=0.04,
+                remote_io_mbps=120.0,
+                seed=1,
+            )
+            rows.append(
+                {
+                    "step": f"{step // 1000}k",
+                    "cache": policy,
+                    "JCT (min)": result.jct_s / 60.0,
+                    "hit ratio": result.hit_ratio,
+                }
+            )
+    print(render_table(rows))
+    print()
+
+
+def demo_irregular_partition() -> None:
+    print("=== §6: irregular jobs in a SiloD cluster ===")
+    cluster = Cluster.build(1, 4, 100.0 * GB, 80.0)
+    regular = Job(
+        job_id="regular-resnet",
+        model="resnet50",
+        dataset=Dataset("imagenet-slice", 40.0 * GB),
+        num_gpus=1,
+        ideal_throughput_mbps=100.0,
+        total_work_mb=3 * 40.0 * GB,
+    )
+    curriculum = Job(
+        job_id="curriculum-job",
+        model="resnet50-curriculum",
+        dataset=Dataset("sorted-imagenet", 40.0 * GB),
+        num_gpus=1,
+        ideal_throughput_mbps=100.0,
+        total_work_mb=2 * 40.0 * GB,
+        regular=False,  # breaks the once-per-epoch assumption
+    )
+    scheduler, cache_system = make_system("fifo", "silod")
+    result = FluidSimulator(
+        cluster, scheduler, cache_system, [regular, curriculum]
+    ).run()
+    rows = [
+        {
+            "job": record.job_id,
+            "JCT (min)": record.jct_s / 60.0,
+        }
+        for record in result.records
+    ]
+    print(render_table(rows))
+    print(
+        "\nThe curriculum job is scheduled from a partitioned cache/IO pool"
+        "\nwith the original estimator; the regular job keeps SiloDPerf."
+    )
+
+
+if __name__ == "__main__":
+    demo_pacing()
+    demo_uniform_vs_lru()
+    demo_irregular_partition()

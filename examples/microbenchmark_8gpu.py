@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The 8-V100 micro-benchmark (§7.1.1) across all four cache systems.
+
+Reproduces the Table 6 comparison and Figure 9's throughput timeline on
+both simulators — the fluid model and the item-level testbed emulator —
+and reports the relative error between them (the paper's fidelity check).
+
+Run: ``python examples/microbenchmark_8gpu.py``
+"""
+
+from repro.analysis.fidelity import compare_simulators
+from repro.analysis.tables import improvement_summary, render_series, render_table
+from repro.cluster.hardware import microbenchmark_cluster
+from repro.sim.runner import run_experiment
+from repro.workloads.trace import microbenchmark_trace
+
+CACHES = ("silod", "quiver", "coordl", "alluxio")
+
+
+def main() -> None:
+    cluster = microbenchmark_cluster()
+    print(
+        f"Cluster: {cluster.total_gpus} V100s, "
+        f"{cluster.total_cache_mb / 1024 ** 2:.1f} TB cache, "
+        f"{cluster.remote_io_mbps:.0f} MB/s remote IO\n"
+    )
+
+    results = {}
+    for cache in CACHES:
+        results[cache] = run_experiment(
+            cluster,
+            "fifo",
+            cache,
+            microbenchmark_trace(),
+            sample_interval_s=1800.0,
+        )
+
+    rows = [
+        {
+            "cache system": name,
+            "avg JCT (min)": r.average_jct_minutes(),
+            "makespan (min)": r.makespan_minutes(),
+        }
+        for name, r in results.items()
+    ]
+    print(render_table(rows, title="Table 6 (reproduced, fluid simulator)"))
+    print()
+    print(
+        render_table(
+            improvement_summary(
+                {n: r.average_jct_minutes() for n, r in results.items()}
+            ),
+            title="JCT vs best",
+        )
+    )
+
+    print("\nFigure 9: total job throughput over time (SiloD)")
+    series = [
+        {"min": round(minute), "mbps": mbps}
+        for minute, mbps, _ideal, _io in results["silod"].throughput_series()
+        if minute % 240 < 10
+    ]
+    print(render_series(series, "min", "mbps", width=40))
+
+    print("\nFidelity: fluid simulator vs item-level testbed emulator")
+    fidelity_rows = []
+    for cache in ("silod", "coordl", "alluxio"):
+        report = compare_simulators(
+            microbenchmark_cluster(),
+            "fifo",
+            cache,
+            microbenchmark_trace(),
+            item_size_mb=512.0,
+        )
+        fidelity_rows.append(report.as_row())
+    print(render_table(fidelity_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a reproduction of SiloD (EuroSys 2023).
+
+SiloD co-designs the cluster scheduler and the cache subsystem for deep
+learning training: cache space and remote IO bandwidth become first-class
+scheduled resources, and a closed-form performance model (SiloDPerf) lets
+any performance-aware scheduler account for them.
+
+Quickstart::
+
+    from repro.sim import run_experiment
+    from repro.cluster import microbenchmark_cluster
+    from repro.workloads import microbenchmark_trace
+
+    result = run_experiment(
+        microbenchmark_cluster(), "fifo", "silod", microbenchmark_trace()
+    )
+    print(result.average_jct_minutes())
+"""
+
+from repro.core import (
+    Allocation,
+    ResourceVector,
+    SiloDPerfEstimator,
+    SiloDScheduler,
+    cache_efficiency,
+    silod_perf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SiloDScheduler",
+    "SiloDPerfEstimator",
+    "silod_perf",
+    "cache_efficiency",
+    "Allocation",
+    "ResourceVector",
+    "__version__",
+]

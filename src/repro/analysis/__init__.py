@@ -1,0 +1,1 @@
+"""Analysis helpers: fidelity comparison and report rendering."""

@@ -1,0 +1,24 @@
+"""Cache subsystems: SiloD data manager and the three baselines."""
+
+from repro.cache.alluxio import AlluxioCache
+from repro.cache.base import CacheSystem, StorageContext, StorageDecision
+from repro.cache.coordl import CoorDLCache
+from repro.cache.items import LruItemCache, UniformItemCache
+from repro.cache.nocache import NoCache
+from repro.cache.prefetch import PrefetchingDataManager
+from repro.cache.quiver import QuiverCache
+from repro.cache.silod_cache import SiloDDataManager
+
+__all__ = [
+    "CacheSystem",
+    "StorageContext",
+    "StorageDecision",
+    "SiloDDataManager",
+    "AlluxioCache",
+    "CoorDLCache",
+    "QuiverCache",
+    "NoCache",
+    "PrefetchingDataManager",
+    "UniformItemCache",
+    "LruItemCache",
+]

@@ -1,0 +1,124 @@
+"""Cache-subsystem interface shared by the simulators.
+
+A cache system answers three questions on every scheduling round:
+
+1. **Placement** — how much of each dataset (or each job's private slice,
+   for CoorDL) should be resident, i.e. target resident bytes per *cache
+   key*;
+2. **Hit model** — given a job's currently *effective* cached bytes, what
+   hit ratio does it see (uniform caching: ``c_eff/d``; LRU: the thrashing
+   closed form);
+3. **Remote IO division** — how the egress bandwidth is split across jobs
+   (baselines fair-share it; the SiloD data manager enforces the
+   scheduler's grants).
+
+The simulators own the cache *dynamics* — resident bytes fill at the miss
+rate, newly cached items become effective at the next epoch boundary (§6
+"delayed effectiveness"), shrinking a target evicts randomly — and query
+the cache system for the three decisions above through
+:meth:`CacheSystem.decide`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.cluster.job import Job
+from repro.core.estimator import SiloDPerfEstimator
+from repro.core.policies import io_share
+from repro.core.resources import Allocation
+
+
+@dataclasses.dataclass
+class StorageContext:
+    """Inputs to a cache system's per-round decision."""
+
+    #: Jobs currently holding GPUs.
+    running_jobs: Sequence[Job]
+    #: GPUs granted per job (fractional under Gavel time-sharing).
+    gpu_grants: Dict[str, float]
+    total_gpus: float
+    total_cache_mb: float
+    total_io_mbps: float
+    #: Effective cached bytes currently visible to a job (from sim state).
+    effective_mb: Callable[[Job], float]
+    #: Whether the job has completed at least one full epoch.
+    first_epoch_done: Callable[[Job], bool]
+    estimator: SiloDPerfEstimator
+    clock_s: float = 0.0
+    #: The scheduler's joint allocation; only the SiloD data manager and
+    #: ablations read it.
+    scheduler_allocation: Optional[Allocation] = None
+    #: Jobs admitted to the cluster but not currently holding GPUs;
+    #: prefetching extensions warm their datasets with spare resources.
+    queued_jobs: Sequence[Job] = ()
+
+
+@dataclasses.dataclass
+class StorageDecision:
+    """Outputs of a cache system's per-round decision."""
+
+    #: Target resident bytes per cache key (dataset name, or job id for
+    #: per-job private caches).
+    cache_targets: Dict[str, float]
+    #: Expected hit ratio per running job under current effective bytes.
+    hit_ratios: Dict[str, float]
+    #: Remote IO bandwidth granted per running job, MB/s.
+    io_grants: Dict[str, float]
+    #: Spare-bandwidth prefetch rates per cache key, MB/s (Hoard-style
+    #: warm-up of queued jobs' datasets; empty for most systems).
+    prefetch_rates: Dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+
+
+class CacheSystem(abc.ABC):
+    """Base class for Alluxio / CoorDL / Quiver / the SiloD data manager."""
+
+    #: Display name used in experiment reports.
+    name: str = "cache"
+    #: Whether cache keys are per-job (private caches) rather than
+    #: per-dataset (shared distributed caches).
+    per_job_keys: bool = False
+
+    def cache_key(self, job: Job) -> str:
+        """The cache-state key this job's data lives under."""
+        return job.job_id if self.per_job_keys else job.dataset.name
+
+    @abc.abstractmethod
+    def decide(self, ctx: StorageContext) -> StorageDecision:
+        """Compute placement targets, hit ratios, and IO grants."""
+
+    def reset(self) -> None:
+        """Clear any internal profiling state between simulation runs."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def desired_rate(job: Job, ctx: StorageContext) -> float:
+    """The job's compute-bound consumption rate under its GPU grant."""
+    return ctx.estimator.compute_bound(
+        job, ctx.gpu_grants.get(job.job_id, 0.0)
+    )
+
+
+def fair_share_io(
+    ctx: StorageContext, hit_ratios: Dict[str, float]
+) -> Dict[str, float]:
+    """Max-min fair egress division over the jobs' miss-rate demands.
+
+    When the scheduler does not manage remote IO, the account's egress cap
+    is shared by the jobs' competing fetch streams — per-flow congestion
+    control approximates a work-conserving max-min division of the
+    *demands*, which is what all baseline cache systems get. (Per-VM
+    physical caps, as in Figure 4's 2-VM example, are modelled by the
+    experiment configuration instead.)
+    """
+    demands = {}
+    for job in ctx.running_jobs:
+        rate = desired_rate(job, ctx)
+        demands[job.job_id] = rate * (1.0 - hit_ratios.get(job.job_id, 0.0))
+    return io_share.max_min_waterfill(demands, ctx.total_io_mbps)

@@ -1,0 +1,76 @@
+"""CoorDL baseline: per-job static uniform caches (§2.1, §7).
+
+CoorDL builds uniform caching *into the data-loading library*: each job
+caches independently on the local disks inside its own VM, statically
+sized by the VM's provisioning (368 GB per V100 on Azure). The policy is
+right for a single job but blind across jobs — the paper's micro-benchmark
+shows it wasting half the cluster's cache on a BERT job that barely
+benefits.
+
+Fluid model: job ``j``'s private target is
+``min(d_j, per_gpu_cache * num_gpus)``; hits follow uniform caching on the
+job's *effective* private bytes; remote IO is fair-shared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.base import (
+    CacheSystem,
+    StorageContext,
+    StorageDecision,
+    fair_share_io,
+)
+from repro.cluster.hardware import LOCAL_CACHE_MB_PER_V100
+
+
+class CoorDLCache(CacheSystem):
+    """Per-job static uniform caching.
+
+    Parameters
+    ----------
+    cache_per_gpu_mb:
+        Local SSD available to each GPU's share of a VM. ``None`` derives
+        it at decision time from the cluster pool divided by total GPUs
+        (the micro-benchmark's 2 TB / 8 GPUs = 256 GB per GPU setup);
+        otherwise pass e.g. ``LOCAL_CACHE_MB_PER_V100``.
+    """
+
+    name = "coordl"
+    per_job_keys = True
+
+    def __init__(self, cache_per_gpu_mb: float = None) -> None:
+        self._cache_per_gpu_mb = cache_per_gpu_mb
+
+    def _per_gpu(self, ctx: StorageContext, total_gpus: float) -> float:
+        if self._cache_per_gpu_mb is not None:
+            return self._cache_per_gpu_mb
+        if total_gpus <= 0:
+            return 0.0
+        return ctx.total_cache_mb / total_gpus
+
+    def decide(self, ctx: StorageContext) -> StorageDecision:
+        jobs = list(ctx.running_jobs)
+        if not jobs:
+            return StorageDecision({}, {}, {})
+        # Static provisioning is per GPU *slot*, not per running job: the
+        # denominator is the cluster's GPU count.
+        per_gpu = self._per_gpu(ctx, ctx.total_gpus)
+        targets: Dict[str, float] = {}
+        hit_ratios: Dict[str, float] = {}
+        for job in jobs:
+            targets[job.job_id] = min(
+                job.dataset.size_mb, per_gpu * job.num_gpus
+            )
+            hit_ratios[job.job_id] = min(
+                1.0, ctx.effective_mb(job) / job.dataset.size_mb
+            )
+        io_grants = fair_share_io(ctx, hit_ratios)
+        return StorageDecision(
+            cache_targets=targets, hit_ratios=hit_ratios, io_grants=io_grants
+        )
+
+
+#: Re-exported so experiment configs can say "Azure V100 provisioning".
+AZURE_V100_CACHE_MB = LOCAL_CACHE_MB_PER_V100

@@ -1,0 +1,31 @@
+"""A cacheless configuration: every byte comes over remote IO.
+
+Used for the Figure 2 analysis (the raw remote-IO demand of a cluster when
+nothing is cached, which peaks far above the storage account's egress
+limit) and as a lower-bound baseline in ablations.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import (
+    CacheSystem,
+    StorageContext,
+    StorageDecision,
+    fair_share_io,
+)
+
+
+class NoCache(CacheSystem):
+    """No caching at all; remote IO is fair-shared over full demands."""
+
+    name = "nocache"
+
+    def decide(self, ctx: StorageContext) -> StorageDecision:
+        jobs = list(ctx.running_jobs)
+        if not jobs:
+            return StorageDecision({}, {}, {})
+        hit_ratios = {job.job_id: 0.0 for job in jobs}
+        io_grants = fair_share_io(ctx, hit_ratios)
+        return StorageDecision(
+            cache_targets={}, hit_ratios=hit_ratios, io_grants=io_grants
+        )

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the end-to-end workflow:
+
+* ``trace``     — generate a synthetic trace (JSON Lines) and print its
+  summary statistics;
+* ``run``       — simulate one (policy, cache) configuration over a trace
+  and print JCT / makespan / fairness;
+* ``matrix``    — the Figure 12-style grid over policies x caches;
+* ``estimate``  — evaluate the closed-form SiloDPerf model for a single
+  allocation (a calculator for Eq 4 / Eq 5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.analysis.tables import render_table
+from repro.cluster.hardware import Cluster
+from repro.core import perf_model
+from repro.sim.runner import CACHES, POLICIES, run_experiment, run_matrix
+from repro.workloads.trace import (
+    TraceConfig,
+    arrival_rate_for_load,
+    generate_trace,
+)
+from repro.workloads.trace_io import load_trace, save_trace, trace_summary
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gpus", type=int, default=100, help="total GPUs (default 100)"
+    )
+    parser.add_argument(
+        "--gpus-per-server", type=int, default=4, help="GPUs per server"
+    )
+    parser.add_argument(
+        "--cache-per-gpu-gb",
+        type=float,
+        default=368.0,
+        help="local cache per GPU in GB (default: Azure V100's 368)",
+    )
+    parser.add_argument(
+        "--egress-gbps",
+        type=float,
+        default=8.0,
+        help="remote-IO egress limit in Gbps",
+    )
+
+
+def _build_cluster(args: argparse.Namespace) -> Cluster:
+    servers = max(1, args.gpus // args.gpus_per_server)
+    return Cluster.build(
+        num_servers=servers,
+        gpus_per_server=args.gpus_per_server,
+        cache_per_server_mb=args.gpus_per_server
+        * units.gb(args.cache_per_gpu_gb),
+        remote_io_mbps=units.gbps(args.egress_gbps),
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = TraceConfig(
+        num_jobs=args.jobs,
+        seed=args.seed,
+        duration_median_s=args.duration_median_min * 60.0,
+        shared_dataset_fraction=args.sharing,
+    )
+    config.mean_interarrival_s = arrival_rate_for_load(
+        config, args.gpus, load=args.load
+    )
+    jobs = generate_trace(config)
+    save_trace(jobs, args.output)
+    summary = trace_summary(jobs)
+    rows = [{"statistic": k, "value": str(v)} for k, v in summary.items()]
+    print(render_table(rows, title=f"trace written to {args.output}"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cluster = _build_cluster(args)
+    jobs = load_trace(args.trace)
+    result = run_experiment(
+        cluster,
+        args.policy,
+        args.cache,
+        jobs,
+        simulator=args.simulator,
+        reschedule_interval_s=args.reschedule_s,
+    )
+    rows = [
+        {
+            "metric": "average JCT (min)",
+            "value": result.average_jct_minutes(),
+        },
+        {"metric": "makespan (min)", "value": result.makespan_minutes()},
+        {
+            "metric": "avg fairness ratio",
+            "value": result.average_fairness_ratio(),
+        },
+        {
+            "metric": "finished jobs",
+            "value": f"{len(result.finished_records())}/{len(result.records)}",
+        },
+    ]
+    print(
+        render_table(
+            rows, title=f"{args.policy} x {args.cache} on {args.trace}"
+        )
+    )
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    cluster = _build_cluster(args)
+    jobs = load_trace(args.trace)
+    results = run_matrix(
+        cluster,
+        jobs,
+        policies=args.policies,
+        caches=args.caches,
+        reschedule_interval_s=args.reschedule_s,
+    )
+    rows = [
+        {
+            "scheduler": policy,
+            "cache": cache,
+            "avg JCT (min)": result.average_jct_minutes(),
+            "makespan (min)": result.makespan_minutes(),
+            "fairness": result.average_fairness_ratio(),
+        }
+        for (policy, cache), result in sorted(results.items())
+    ]
+    print(render_table(rows, title="scheduler x cache grid"))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    d_mb = units.gb(args.dataset_gb)
+    c_mb = units.gb(args.cache_gb)
+    throughput = perf_model.silod_perf(
+        args.f_star, args.io_mbps, c_mb, d_mb
+    )
+    rows = [
+        {"quantity": "SiloDPerf (MB/s)", "value": throughput},
+        {
+            "quantity": "bottleneck",
+            "value": "compute"
+            if throughput >= args.f_star - 1e-9
+            else "data loading",
+        },
+        {
+            "quantity": "cache hit ratio",
+            "value": perf_model.hit_ratio(c_mb, d_mb),
+        },
+        {
+            "quantity": "remote IO demand at f* (MB/s)",
+            "value": perf_model.remote_io_demand(args.f_star, c_mb, d_mb),
+        },
+        {
+            "quantity": "cache efficiency (MB/s per GB)",
+            "value": perf_model.cache_efficiency(args.f_star, d_mb)
+            * units.MB_PER_GB,
+        },
+    ]
+    print(render_table(rows, title="SiloDPerf (Eq 4) estimate"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SiloD reproduction: co-designed caching + scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic trace")
+    p_trace.add_argument("output", help="output JSONL path")
+    p_trace.add_argument("--jobs", type=int, default=300)
+    p_trace.add_argument("--seed", type=int, default=42)
+    p_trace.add_argument("--gpus", type=int, default=100)
+    p_trace.add_argument("--load", type=float, default=1.5)
+    p_trace.add_argument("--duration-median-min", type=float, default=360.0)
+    p_trace.add_argument("--sharing", type=float, default=0.0)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_run = sub.add_parser("run", help="simulate one configuration")
+    p_run.add_argument("trace", help="trace JSONL path")
+    p_run.add_argument("--policy", default="fifo")
+    p_run.add_argument("--cache", default="silod")
+    p_run.add_argument("--simulator", default="fluid",
+                       choices=["fluid", "minibatch"])
+    p_run.add_argument("--reschedule-s", type=float, default=1800.0)
+    _add_cluster_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_matrix = sub.add_parser("matrix", help="run a policy x cache grid")
+    p_matrix.add_argument("trace", help="trace JSONL path")
+    p_matrix.add_argument("--policies", nargs="+", default=list(POLICIES))
+    p_matrix.add_argument("--caches", nargs="+", default=list(CACHES))
+    p_matrix.add_argument("--reschedule-s", type=float, default=1800.0)
+    _add_cluster_args(p_matrix)
+    p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_est = sub.add_parser("estimate", help="evaluate SiloDPerf (Eq 4)")
+    p_est.add_argument("--f-star", type=float, required=True,
+                       help="compute-bound throughput, MB/s")
+    p_est.add_argument("--dataset-gb", type=float, required=True)
+    p_est.add_argument("--cache-gb", type=float, default=0.0)
+    p_est.add_argument("--io-mbps", type=float, default=0.0)
+    p_est.set_defaults(func=_cmd_estimate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

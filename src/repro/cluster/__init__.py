@@ -1,0 +1,29 @@
+"""Cluster substrate: hardware, storage, datasets, jobs."""
+
+from repro.cluster.dataset import Dataset, DatasetRegistry
+from repro.cluster.hardware import (
+    Cluster,
+    GpuSpec,
+    Server,
+    cluster_96gpu,
+    cluster_400gpu,
+    microbenchmark_cluster,
+)
+from repro.cluster.job import Job, JobPhase, JobProgress
+from repro.cluster.storage import RemoteStorage, peer_read_throughput
+
+__all__ = [
+    "Dataset",
+    "DatasetRegistry",
+    "Cluster",
+    "GpuSpec",
+    "Server",
+    "Job",
+    "JobPhase",
+    "JobProgress",
+    "RemoteStorage",
+    "peer_read_throughput",
+    "microbenchmark_cluster",
+    "cluster_96gpu",
+    "cluster_400gpu",
+]

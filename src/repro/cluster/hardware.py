@@ -1,0 +1,226 @@
+"""GPU generations, servers, and cluster topology.
+
+This module records the hardware facts the paper relies on:
+
+* Figure 1's trend of GPU single-precision TFLOPS vs. cloud-storage egress
+  bandwidth limits (the motivation: compute grew 125x in seven years while
+  egress limits grew 12x).
+* Table 2's measured training speed and IO demand of ResNet-50 per GPU type.
+* The server/cluster model used by both simulators: servers contribute GPUs
+  and local-disk cache capacity to a shared pool reachable over a storage
+  fabric (Figure 3 shows peer reads run at near-local speed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro import units
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """A GPU generation.
+
+    ``fp32_tflops`` is single-precision throughput (Figure 1);
+    ``release_year`` places it on the trend line.
+    """
+
+    name: str
+    fp32_tflops: float
+    release_year: int
+
+
+#: Figure 1's GPU generations. TFLOPS values follow NVIDIA's published
+#: single-precision numbers for the data-center parts the figure plots.
+GPU_GENERATIONS: Dict[str, GpuSpec] = {
+    "K80": GpuSpec("K80", 4.1, 2015),
+    "P100": GpuSpec("P100", 9.3, 2016),
+    "V100": GpuSpec("V100", 14.0, 2017),
+    "A100": GpuSpec("A100", 19.5, 2020),
+    "H100": GpuSpec("H100", 510.0, 2022),  # with sparsity, per Fig 1's ~500 point
+}
+
+
+#: Figure 1's Azure storage-account egress bandwidth limits (Gbps) by year.
+#: The paper reports a 12x increase across the same window, ending at
+#: 120 Gbps ("the claimed upper-bound" used in Figure 2).
+EGRESS_LIMIT_GBPS_BY_YEAR: Dict[int, float] = {
+    2015: 10.0,
+    2016: 15.0,
+    2017: 20.0,
+    2018: 30.0,
+    2019: 50.0,
+    2020: 60.0,
+    2021: 100.0,
+    2022: 120.0,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ResNet50Profile:
+    """Table 2: ResNet-50 on ImageNet, mixed precision, per GPU setup."""
+
+    gpu_setup: str
+    images_per_second: float
+    io_mb_per_second: float
+
+
+#: Table 2 of the paper.
+RESNET50_TABLE2: List[ResNet50Profile] = [
+    ResNet50Profile("1xV100", 1003.0, 114.0),
+    ResNet50Profile("1xA100", 2930.0, 333.0),
+    ResNet50Profile("8xV100", 7813.0, 888.0),
+    ResNet50Profile("8xA100", 16925.0, 1923.0),
+    ResNet50Profile("1xGaudi2", 5325.0, 614.0),
+]
+
+
+#: Azure's local SSD available per V100 GPU for job-private caching, used by
+#: the CoorDL baseline (§7: "368GB per V100 in Azure").
+LOCAL_CACHE_MB_PER_V100 = units.gb(368.0)
+
+
+@dataclasses.dataclass
+class Server:
+    """A GPU server contributing compute and cache to the cluster.
+
+    Attributes
+    ----------
+    server_id:
+        Index within the cluster.
+    num_gpus:
+        GPUs on this server.
+    local_cache_mb:
+        Local disk (SSD) capacity contributed to the distributed cache pool.
+    local_disk_bandwidth_mbps:
+        Sequential read throughput of the local disks.
+    fabric_bandwidth_mbps:
+        Per-server NIC bandwidth on the storage fabric used for peer reads.
+    """
+
+    server_id: int
+    num_gpus: int
+    local_cache_mb: float
+    local_disk_bandwidth_mbps: float = 2000.0
+    fabric_bandwidth_mbps: float = 12500.0  # 100 Gbps storage fabric
+
+
+@dataclasses.dataclass
+class Cluster:
+    """A homogeneous GPU cluster: servers plus a remote-IO egress limit.
+
+    The two simulators treat the cluster's aggregate cache as one pool
+    (Figure 3 justifies this: the storage fabric makes peer reads as fast as
+    local reads), so most code only needs :meth:`total_gpus` and
+    :meth:`total_cache_mb`.
+    """
+
+    servers: List[Server]
+    remote_io_mbps: float
+    gpu: GpuSpec = GPU_GENERATIONS["V100"]
+
+    @classmethod
+    def build(
+        cls,
+        num_servers: int,
+        gpus_per_server: int,
+        cache_per_server_mb: float,
+        remote_io_mbps: float,
+        gpu: GpuSpec = GPU_GENERATIONS["V100"],
+    ) -> "Cluster":
+        """Construct a homogeneous cluster."""
+        servers = [
+            Server(
+                server_id=i,
+                num_gpus=gpus_per_server,
+                local_cache_mb=cache_per_server_mb,
+            )
+            for i in range(num_servers)
+        ]
+        return cls(servers=servers, remote_io_mbps=remote_io_mbps, gpu=gpu)
+
+    @property
+    def total_gpus(self) -> int:
+        """Number of GPUs across all servers."""
+        return sum(s.num_gpus for s in self.servers)
+
+    @property
+    def total_cache_mb(self) -> float:
+        """Aggregate distributed-cache capacity in MB."""
+        return sum(s.local_cache_mb for s in self.servers)
+
+
+#: Table 5: remote IO limits used in the paper's evaluation, scaled down
+#: from the ~1900-V100 production cluster's 120 Gbps.
+REMOTE_IO_LIMITS_TABLE5: Dict[str, float] = {
+    "8xV100": units.gbps(1.6),
+    "96xK80": units.gbps(8.0),
+    "400xV100": units.gbps(32.0),
+    "production": units.gbps(120.0),
+}
+
+
+def microbenchmark_cluster() -> Cluster:
+    """The 8-V100 micro-benchmark cluster (§7.1.1).
+
+    Two 4-V100 VMs, each with 1 TB SSD cache, 1.6 Gbps (200 MB/s) remote IO.
+    """
+    return Cluster.build(
+        num_servers=2,
+        gpus_per_server=4,
+        cache_per_server_mb=units.tb(1.0),
+        remote_io_mbps=REMOTE_IO_LIMITS_TABLE5["8xV100"],
+    )
+
+
+def cluster_96gpu(cache_per_gpu_mb: float = LOCAL_CACHE_MB_PER_V100) -> Cluster:
+    """The 96-GPU cluster (§7.1.2): 12 8-GPU servers, 8 Gbps remote IO."""
+    return Cluster.build(
+        num_servers=12,
+        gpus_per_server=8,
+        cache_per_server_mb=8 * cache_per_gpu_mb,
+        remote_io_mbps=REMOTE_IO_LIMITS_TABLE5["96xK80"],
+    )
+
+
+def cluster_400gpu(cache_per_gpu_mb: float = LOCAL_CACHE_MB_PER_V100) -> Cluster:
+    """The 400-GPU simulated cluster (§7.2): 50 8-GPU servers, 32 Gbps."""
+    return Cluster.build(
+        num_servers=50,
+        gpus_per_server=8,
+        cache_per_server_mb=8 * cache_per_gpu_mb,
+        remote_io_mbps=REMOTE_IO_LIMITS_TABLE5["400xV100"],
+    )
+
+
+def gpu_trend_series() -> List[dict]:
+    """Figure 1 as a data series: year, TFLOPS (if a GPU shipped), egress."""
+    rows = []
+    by_year = {g.release_year: g for g in GPU_GENERATIONS.values()}
+    for year in sorted(EGRESS_LIMIT_GBPS_BY_YEAR):
+        gpu = by_year.get(year)
+        rows.append(
+            {
+                "year": year,
+                "gpu": gpu.name if gpu else None,
+                "fp32_tflops": gpu.fp32_tflops if gpu else None,
+                "egress_gbps": EGRESS_LIMIT_GBPS_BY_YEAR[year],
+            }
+        )
+    return rows
+
+
+def compute_growth_vs_egress_growth() -> tuple:
+    """Return (gpu_speedup, egress_growth) across Figure 1's window.
+
+    The paper quotes 125x vs 12x.
+    """
+    specs = sorted(GPU_GENERATIONS.values(), key=lambda g: g.release_year)
+    gpu_growth = specs[-1].fp32_tflops / specs[0].fp32_tflops
+    years: Sequence[int] = sorted(EGRESS_LIMIT_GBPS_BY_YEAR)
+    egress_growth = (
+        EGRESS_LIMIT_GBPS_BY_YEAR[years[-1]] / EGRESS_LIMIT_GBPS_BY_YEAR[years[0]]
+    )
+    return gpu_growth, egress_growth

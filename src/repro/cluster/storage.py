@@ -1,0 +1,147 @@
+"""Remote storage service and the intra-cluster storage fabric.
+
+Two pieces of the paper's substrate live here:
+
+* :class:`RemoteStorage` — the cloud blob store with an egress bandwidth
+  limit (Figure 1 / Table 5). The data manager throttles each job's remote
+  fetches so the sum stays within this limit.
+* :func:`peer_read_throughput` — the Figure 3 experiment's model: when a
+  dataset is spread evenly over ``n`` servers' local caches, a job on one
+  server reads ``1/n`` of its data locally and ``(n-1)/n`` from peers over
+  the storage fabric. With a datacenter-grade fabric this scales almost
+  linearly, which justifies treating the distributed cache as one pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+
+@dataclasses.dataclass
+class RemoteStorage:
+    """A cloud storage account with a hard egress bandwidth limit.
+
+    The class tracks per-job grants so the enforcement layer (the SiloD data
+    manager, or the fair-share fallback used by the baselines) can never
+    oversubscribe the egress limit.
+    """
+
+    egress_limit_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.egress_limit_mbps <= 0:
+            raise ValueError("egress limit must be positive")
+        self._grants: Dict[str, float] = {}
+
+    @property
+    def granted_mbps(self) -> float:
+        """Total bandwidth currently granted to jobs."""
+        return sum(self._grants.values())
+
+    @property
+    def available_mbps(self) -> float:
+        """Remaining ungranted egress bandwidth."""
+        return max(0.0, self.egress_limit_mbps - self.granted_mbps)
+
+    def grant(self, job_id: str, mbps: float) -> None:
+        """Grant (or replace) a job's remote-IO bandwidth share.
+
+        Raises ``ValueError`` if the grant would oversubscribe the limit.
+        """
+        if mbps < 0:
+            raise ValueError("bandwidth grant must be non-negative")
+        other = self.granted_mbps - self._grants.get(job_id, 0.0)
+        if other + mbps > self.egress_limit_mbps * (1 + 1e-9):
+            raise ValueError(
+                f"grant of {mbps:.1f} MB/s to {job_id} exceeds egress limit "
+                f"({other:.1f} already granted of {self.egress_limit_mbps:.1f})"
+            )
+        self._grants[job_id] = mbps
+
+    def revoke(self, job_id: str) -> None:
+        """Drop a job's grant (idempotent)."""
+        self._grants.pop(job_id, None)
+
+    def grant_of(self, job_id: str) -> float:
+        """The job's current grant in MB/s (0 if none)."""
+        return self._grants.get(job_id, 0.0)
+
+    def clear(self) -> None:
+        """Revoke every grant."""
+        self._grants.clear()
+
+
+def peer_read_throughput(
+    num_servers: int,
+    io_demand_per_server_mbps: float,
+    local_disk_mbps: float = 2000.0,
+    fabric_mbps: float = 12500.0,
+) -> float:
+    """Aggregate data-loading throughput of ``num_servers`` servers (Fig 3).
+
+    Every server runs a job demanding ``io_demand_per_server_mbps`` (the
+    paper uses 1923 MB/s: ResNet-50 on 8 A100s). Datasets are spread evenly
+    over all servers' caches, so each job reads a ``1/n`` fraction from the
+    local disk and ``(n-1)/n`` from peers.
+
+    Per server, three resources can bottleneck:
+
+    * its own disk serving local reads *and* peer requests from the other
+      ``n-1`` servers (each server's disk serves ``1/n`` of every job's
+      demand, i.e. the full per-server demand in aggregate);
+    * its NIC, carrying ``(n-1)/n`` of its own demand in and the same out;
+    * the demand itself (no point loading faster than the job consumes).
+
+    Returns the aggregate achieved throughput in MB/s.
+    """
+    if num_servers < 1:
+        raise ValueError("need at least one server")
+    n = num_servers
+    demand = io_demand_per_server_mbps
+    # Each disk serves: its job's local fraction + the peer fraction of all
+    # other jobs that maps onto it = demand/n + (n-1) * demand/n = demand.
+    disk_limited = local_disk_mbps
+    # NIC carries the peer fraction of this server's own reads.
+    peer_fraction = (n - 1) / n
+    nic_limited = fabric_mbps / peer_fraction if peer_fraction > 0 else float("inf")
+    per_server = min(demand, disk_limited, nic_limited)
+    return per_server * n
+
+
+def local_read_throughput(
+    num_servers: int,
+    io_demand_per_server_mbps: float,
+    local_disk_mbps: float = 2000.0,
+) -> float:
+    """Aggregate throughput if every job read only from its local disk."""
+    if num_servers < 1:
+        raise ValueError("need at least one server")
+    per_server = min(io_demand_per_server_mbps, local_disk_mbps)
+    return per_server * num_servers
+
+
+def peer_read_scaling_series(
+    server_counts: List[int],
+    io_demand_per_server_mbps: float = 1923.0,
+    local_disk_mbps: float = 2000.0,
+    fabric_mbps: float = 12500.0,
+) -> List[dict]:
+    """Figure 3 as a data series: linear / local / peer throughput in GB/s."""
+    rows = []
+    for n in server_counts:
+        rows.append(
+            {
+                "servers": n,
+                "linear_gbps": n * io_demand_per_server_mbps / 1024.0,
+                "local_read_gbps": local_read_throughput(
+                    n, io_demand_per_server_mbps, local_disk_mbps
+                )
+                / 1024.0,
+                "peer_read_gbps": peer_read_throughput(
+                    n, io_demand_per_server_mbps, local_disk_mbps, fabric_mbps
+                )
+                / 1024.0,
+            }
+        )
+    return rows

@@ -1,0 +1,23 @@
+"""SiloD's core: the performance model, estimator, policies, framework."""
+
+from repro.core.estimator import SiloDPerfEstimator, linear_compute_estimator
+from repro.core.perf_model import (
+    cache_efficiency,
+    io_throughput,
+    remote_io_demand,
+    silod_perf,
+)
+from repro.core.resources import Allocation, ResourceVector
+from repro.core.silod import SiloDScheduler
+
+__all__ = [
+    "SiloDPerfEstimator",
+    "linear_compute_estimator",
+    "silod_perf",
+    "io_throughput",
+    "remote_io_demand",
+    "cache_efficiency",
+    "Allocation",
+    "ResourceVector",
+    "SiloDScheduler",
+]

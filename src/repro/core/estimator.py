@@ -1,0 +1,109 @@
+"""The SiloD-enhanced performance estimator (Algorithm 1, line 5).
+
+Existing schedulers estimate job throughput from compute resources only:
+``perf(j, R)``. SiloD wraps that estimator:
+
+    SiloDPerf = lambda j, R: min(perf(j, R), IOPerf(j, R))
+
+This module provides that wrapper as :class:`SiloDPerfEstimator`. It
+
+* delegates the compute-bound estimate to a pluggable ``compute_estimator``
+  (by default linear scaling of the job's profiled ``f*`` with the GPU
+  fraction granted — what Gandiva/Gavel-style schedulers profile);
+* applies the closed-form IOPerf (Eq 3) for *regular* jobs;
+* falls back to the compute-only estimate for *irregular* jobs (§6 —
+  those jobs live in a partitioned pool and keep their original estimator).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.job import Job
+from repro.core import perf_model
+from repro.core.resources import ResourceVector
+
+#: Signature of a compute-only estimator: (job, gpus granted) -> MB/s.
+ComputeEstimator = Callable[[Job, float], float]
+
+
+def linear_compute_estimator(job: Job, gpus: float) -> float:
+    """Scale the profiled ``f*`` linearly with the granted GPU fraction.
+
+    Jobs are profiled at their requested GPU count; granting fewer GPUs
+    (time-sharing in Gavel) scales throughput proportionally, granting more
+    than requested gives no benefit (the job cannot use them).
+    """
+    fraction = min(1.0, gpus / job.num_gpus)
+    return job.ideal_throughput_mbps * fraction
+
+
+class SiloDPerfEstimator:
+    """``min(perf, IOPerf)`` — the enhanced estimator of Algorithm 1.
+
+    Parameters
+    ----------
+    compute_estimator:
+        The original scheduler's ``perf(j, R)`` in MB/s. Defaults to
+        :func:`linear_compute_estimator`.
+    """
+
+    def __init__(
+        self, compute_estimator: ComputeEstimator = linear_compute_estimator
+    ) -> None:
+        self._compute_estimator = compute_estimator
+
+    def compute_bound(self, job: Job, gpus: float) -> float:
+        """The original compute-only estimate ``perf(j, R)``."""
+        return self._compute_estimator(job, gpus)
+
+    def estimate(
+        self,
+        job: Job,
+        gpus: float,
+        cache_mb: float,
+        remote_io_mbps: float,
+    ) -> float:
+        """End-to-end throughput under a joint allocation, in MB/s."""
+        f_star = self.compute_bound(job, gpus)
+        if not job.regular:
+            # Irregular jobs keep the original estimator (§6).
+            return f_star
+        return perf_model.silod_perf(
+            f_star, remote_io_mbps, cache_mb, job.dataset.size_mb
+        )
+
+    def estimate_vector(self, job: Job, resources: ResourceVector) -> float:
+        """Convenience overload taking a :class:`ResourceVector`."""
+        return self.estimate(
+            job,
+            gpus=resources.gpus,
+            cache_mb=resources.cache_mb,
+            remote_io_mbps=resources.remote_io_mbps,
+        )
+
+    def io_bound(
+        self, job: Job, gpus: float, cache_mb: float, remote_io_mbps: float
+    ) -> bool:
+        """Whether the job would be IO-bound under this allocation."""
+        if not job.regular:
+            return False
+        return perf_model.is_io_bound(
+            self.compute_bound(job, gpus),
+            remote_io_mbps,
+            cache_mb,
+            job.dataset.size_mb,
+        )
+
+    def estimated_duration_s(
+        self,
+        job: Job,
+        gpus: float,
+        cache_mb: float,
+        remote_io_mbps: float,
+    ) -> float:
+        """``numSteps * stepDataSize / SiloDPerf`` — Eq 6's duration term."""
+        throughput = self.estimate(job, gpus, cache_mb, remote_io_mbps)
+        if throughput <= 0:
+            return float("inf")
+        return job.total_work_mb / throughput

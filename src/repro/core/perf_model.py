@@ -1,0 +1,153 @@
+"""The SiloD closed-form performance model (§4, Equations 1-5).
+
+Deep-learning training pipelines data loading with computation at batch
+granularity (Figure 5). Under *uniform caching* — cache each item until the
+allocation is full, never evict — the shuffled once-per-epoch access
+pattern makes the expected hit ratio exactly ``c/d`` regardless of *which*
+items are cached. From that the paper derives:
+
+* Eq 1: end-to-end throughput is the bottleneck stage,
+  ``SiloDPerf = min(f*, f)``.
+* Eq 2: a job loading data at rate ``f`` with cache ``c`` over a dataset of
+  size ``d`` demands remote IO ``b = f * (1 - c/d)``.
+* Eq 3: inverting, a remote-IO allocation ``b`` supports data loading at
+  ``f = b / (1 - c/d)`` (IOPerf).
+* Eq 4: ``SiloDPerf = min(f*, b / (1 - c/d))``.
+* Eq 5: cache efficiency — remote IO saved per unit of cache at the ideal
+  operating point — is ``-∂b/∂c = f*/d``.
+
+All throughputs are MB/s and sizes MB. The functions are deliberately
+free-standing (no classes) so policies can call them on plain numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Tolerance used when a cache allocation covers the whole dataset and the
+#: miss ratio denominator vanishes.
+_EPS = 1e-12
+
+
+def hit_ratio(cache_mb: float, dataset_mb: float) -> float:
+    """Expected uniform-caching hit ratio ``c/d``, clamped to [0, 1]."""
+    if dataset_mb <= 0:
+        raise ValueError("dataset size must be positive")
+    if cache_mb < 0:
+        raise ValueError("cache size must be non-negative")
+    return min(1.0, cache_mb / dataset_mb)
+
+
+def miss_ratio(cache_mb: float, dataset_mb: float) -> float:
+    """Expected uniform-caching miss ratio ``1 - c/d``."""
+    return 1.0 - hit_ratio(cache_mb, dataset_mb)
+
+
+def remote_io_demand(
+    loading_throughput_mbps: float, cache_mb: float, dataset_mb: float
+) -> float:
+    """Eq 2: remote IO demand ``b = f * (1 - c/d)`` in MB/s."""
+    if loading_throughput_mbps < 0:
+        raise ValueError("throughput must be non-negative")
+    return loading_throughput_mbps * miss_ratio(cache_mb, dataset_mb)
+
+
+def io_throughput(
+    remote_io_mbps: float, cache_mb: float, dataset_mb: float
+) -> float:
+    """Eq 3 (IOPerf): loading throughput ``f = b / (1 - c/d)``.
+
+    When the dataset is fully cached the miss ratio is zero and any
+    non-negative remote-IO allocation supports unbounded loading; we return
+    ``inf`` so the ``min`` with ``f*`` in Eq 4 resolves it.
+    """
+    if remote_io_mbps < 0:
+        raise ValueError("remote IO allocation must be non-negative")
+    misses = miss_ratio(cache_mb, dataset_mb)
+    if misses <= _EPS:
+        return math.inf
+    return remote_io_mbps / misses
+
+
+def silod_perf(
+    ideal_throughput_mbps: float,
+    remote_io_mbps: float,
+    cache_mb: float,
+    dataset_mb: float,
+) -> float:
+    """Eq 4: end-to-end throughput ``min(f*, b / (1 - c/d))`` in MB/s."""
+    if ideal_throughput_mbps < 0:
+        raise ValueError("ideal throughput must be non-negative")
+    return min(
+        ideal_throughput_mbps,
+        io_throughput(remote_io_mbps, cache_mb, dataset_mb),
+    )
+
+
+def cache_efficiency(ideal_throughput_mbps: float, dataset_mb: float) -> float:
+    """Eq 5: remote IO (MB/s) saved per MB of cache at the ideal point.
+
+    This is the negative derivative of Eq 2 at ``f = f*``: ``f*/d``. The
+    paper reports it in MB/s per GB (Figure 6); this function returns
+    MB/s per MB — multiply by 1024 for the paper's unit.
+    """
+    if dataset_mb <= 0:
+        raise ValueError("dataset size must be positive")
+    if ideal_throughput_mbps < 0:
+        raise ValueError("ideal throughput must be non-negative")
+    return ideal_throughput_mbps / dataset_mb
+
+
+def dataset_cache_efficiency(
+    ideal_throughputs_mbps: Iterable[float], dataset_mb: float
+) -> float:
+    """Dataset-level cache efficiency with sharing (§6).
+
+    When several jobs train on the same dataset, one MB of cache saves
+    remote IO for all of them, so the dataset's efficiency is the *sum* of
+    the sharing jobs' efficiencies.
+    """
+    return sum(
+        cache_efficiency(f_star, dataset_mb) for f_star in ideal_throughputs_mbps
+    )
+
+
+def min_remote_io_for_throughput(
+    target_throughput_mbps: float, cache_mb: float, dataset_mb: float
+) -> float:
+    """Remote IO needed to sustain ``target`` given a cache allocation.
+
+    This is Eq 2 evaluated at the target; policies use it as the feasibility
+    primitive (e.g. Gavel's bisection asks "can every job reach ratio t?").
+    """
+    return remote_io_demand(target_throughput_mbps, cache_mb, dataset_mb)
+
+
+def min_cache_for_throughput(
+    target_throughput_mbps: float, remote_io_mbps: float, dataset_mb: float
+) -> float:
+    """Cache needed to sustain ``target`` given a remote-IO allocation.
+
+    Solves Eq 4 for ``c``: ``c = d * (1 - b/f)``. Returns 0 when the IO
+    allocation alone suffices, and ``d`` when the target is unreachable at
+    any cache size below full caching. Raises for a non-positive target.
+    """
+    if target_throughput_mbps <= 0:
+        raise ValueError("target throughput must be positive")
+    if remote_io_mbps >= target_throughput_mbps:
+        return 0.0
+    return dataset_mb * (1.0 - remote_io_mbps / target_throughput_mbps)
+
+
+def is_io_bound(
+    ideal_throughput_mbps: float,
+    remote_io_mbps: float,
+    cache_mb: float,
+    dataset_mb: float,
+) -> bool:
+    """Whether data loading, not compute, bottlenecks the pipeline."""
+    return (
+        io_throughput(remote_io_mbps, cache_mb, dataset_mb)
+        < ideal_throughput_mbps
+    )

@@ -1,0 +1,1 @@
+"""Scheduling policies: FIFO, multi-resource SJF, Gavel, greedy cache."""

@@ -1,0 +1,17 @@
+"""Simulators: fluid (cluster scale) and minibatch (testbed emulation)."""
+
+from repro.sim.fluid import FluidSimulator
+from repro.sim.metrics import JobRecord, RunResult, TimelineSample
+from repro.sim.minibatch import MinibatchEmulator
+from repro.sim.runner import make_system, run_experiment, run_matrix
+
+__all__ = [
+    "FluidSimulator",
+    "MinibatchEmulator",
+    "RunResult",
+    "JobRecord",
+    "TimelineSample",
+    "make_system",
+    "run_experiment",
+    "run_matrix",
+]

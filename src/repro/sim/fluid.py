@@ -1,0 +1,607 @@
+"""Fluid event-driven cluster simulator.
+
+This is the reproduction's analog of the paper's ~5.2 kLoC Go simulator
+(§7.2). Instead of simulating every mini-batch, it exploits the property
+SiloDPerf itself rests on: between *events*, every job's throughput is
+constant, so the simulator advances analytically from event to event.
+
+Events
+------
+* **job arrival / completion / reschedule tick** — the scheduling policy
+  runs and produces a fresh joint allocation;
+* **epoch boundary** — a job's newly cached items become effective (§6
+  "delayed effectiveness") and the storage decision (hit ratios, IO
+  grants, placement targets) is recomputed without re-running the policy;
+* **sample tick** — a timeline sample is recorded.
+
+Cache dynamics
+--------------
+Resident bytes per cache key fill at the jobs' miss rates (solving the
+exact exponential ODE when sharing jobs may re-fetch already-resident
+items), are capped at the system's placement target, and are evicted
+randomly (proportional effectiveness loss) when a target shrinks. A job's
+*effective* bytes are promoted to the key's resident bytes at each of its
+epoch boundaries, and initialised from resident bytes when it starts —
+which is how dataset sharing pays off immediately (§7.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.base import CacheSystem, StorageContext, StorageDecision
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job, JobPhase, JobProgress
+from repro.core.policies.gavel import fairness_ratio
+from repro.core.resources import Allocation, ResourceVector
+from repro.core.silod import SiloDScheduler
+from repro.sim.metrics import JobRecord, RunResult, TimelineSample
+
+#: Work below this many MB counts as "done" (guards float drift).
+_WORK_EPS_MB = 1e-3
+#: Rate below this many MB/s counts as "stalled".
+_RATE_EPS = 1e-9
+
+
+@dataclasses.dataclass
+class _CacheKeyState:
+    """Resident bytes and placement target for one cache key."""
+
+    size_mb: float  # dataset size (fill ceiling)
+    resident_mb: float = 0.0
+    target_mb: float = 0.0
+
+
+class FluidSimulator:
+    """Simulate a (scheduler, cache system) pair over a job trace.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware: GPUs, aggregate cache pool, egress limit.
+    scheduler:
+        A :class:`SiloDScheduler` (wrap any policy; set
+        ``storage_aware=False`` for the decoupled baselines).
+    cache_system:
+        The cache subsystem enforcing (or deciding) storage.
+    jobs:
+        The trace. Jobs must have distinct ids.
+    reschedule_interval_s:
+        Cadence of periodic policy reruns between arrivals/completions.
+    sample_interval_s:
+        Cadence of timeline samples.
+    max_time_s:
+        Hard stop; unfinished jobs are reported with no finish time.
+    data_manager_crash_times_s:
+        Fault injection (§6): at each time the data manager crashes and
+        recovers — allocations are reconstructed from the (durable)
+        scheduler state and cache content survives on local disk, but any
+        in-memory cache-system state (e.g. Quiver's online profiles) is
+        lost and a full re-schedule runs.
+    server_loss_times_s:
+        Fault injection: at each time one server is lost outright; with
+        even striping, ``1/num_servers`` of every dataset's resident and
+        effective bytes disappear (a *restart* would lose nothing — the
+        content is on disk — so this is the harsher case).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: SiloDScheduler,
+        cache_system: CacheSystem,
+        jobs: Sequence[Job],
+        reschedule_interval_s: float = 600.0,
+        sample_interval_s: float = 600.0,
+        max_time_s: Optional[float] = None,
+        data_manager_crash_times_s: Sequence[float] = (),
+        server_loss_times_s: Sequence[float] = (),
+    ) -> None:
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job ids must be unique")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.cache_system = cache_system
+        self.total = ResourceVector(
+            gpus=cluster.total_gpus,
+            cache_mb=cluster.total_cache_mb,
+            remote_io_mbps=cluster.remote_io_mbps,
+        )
+        self._trace = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
+        self._reschedule_interval_s = reschedule_interval_s
+        self._sample_interval_s = sample_interval_s
+        self._max_time_s = max_time_s
+        self._crash_times = sorted(data_manager_crash_times_s)
+        self._loss_times = sorted(server_loss_times_s)
+
+        self.clock_s = 0.0
+        self._arrival_idx = 0
+        self._active: Dict[str, JobProgress] = {}
+        self._finished: List[JobProgress] = []
+        self._cache: Dict[str, _CacheKeyState] = {}
+        self._effective: Dict[str, float] = {}
+        self._epochs_done: Dict[str, int] = {}
+        self._allocation = Allocation()
+        self._decision = StorageDecision({}, {}, {})
+        self._throughput: Dict[str, float] = {}
+        self._miss_rate: Dict[str, float] = {}
+        self._timeline: List[TimelineSample] = []
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run to completion (or ``max_time_s``) and return the result."""
+        self.cache_system.reset()
+        next_sample = 0.0
+        next_reschedule = 0.0
+        max_events = 20_000_000
+        for _ in range(max_events):
+            if self._done():
+                break
+            candidates = [self._next_arrival_time()]
+            if self._active:
+                candidates.append(next_reschedule)
+                candidates.append(next_sample)
+                candidates.append(self._next_completion_time())
+                candidates.append(self._next_epoch_boundary_time())
+            if self._crash_times:
+                candidates.append(max(self.clock_s, self._crash_times[0]))
+            if self._loss_times:
+                candidates.append(max(self.clock_s, self._loss_times[0]))
+            if self._max_time_s is not None:
+                candidates.append(self._max_time_s)
+            t_next = min(t for t in candidates if t is not None)
+            if math.isinf(t_next):
+                break  # nothing can ever happen again
+            self._advance_to(t_next)
+
+            if self._max_time_s is not None and self.clock_s >= self._max_time_s:
+                break
+
+            changed = False
+            changed |= self._admit_arrivals()
+            changed |= self._retire_completions()
+            changed |= self._inject_faults()
+            epoch_flip = self._promote_epoch_boundaries()
+
+            if changed or self.clock_s >= next_reschedule:
+                self._reschedule()
+                next_reschedule = self.clock_s + self._reschedule_interval_s
+            elif epoch_flip:
+                self._storage_decide()
+
+            if self.clock_s >= next_sample:
+                self._sample()
+                next_sample = self.clock_s + self._sample_interval_s
+        else:
+            raise RuntimeError("fluid simulation exceeded the event budget")
+        self._sample()
+        return self._result()
+
+    # ------------------------------------------------------------------
+    # Event timing.
+    # ------------------------------------------------------------------
+
+    def _done(self) -> bool:
+        return self._arrival_idx >= len(self._trace) and not self._active
+
+    def _next_arrival_time(self) -> Optional[float]:
+        if self._arrival_idx >= len(self._trace):
+            return None
+        return max(self.clock_s, self._trace[self._arrival_idx].submit_time_s)
+
+    def _next_completion_time(self) -> float:
+        best = math.inf
+        for progress in self._active.values():
+            rate = self._throughput.get(progress.job.job_id, 0.0)
+            if rate > _RATE_EPS:
+                best = min(best, self.clock_s + progress.remaining_work_mb / rate)
+        return best
+
+    def _next_epoch_boundary_time(self) -> float:
+        best = math.inf
+        for progress in self._active.values():
+            rate = self._throughput.get(progress.job.job_id, 0.0)
+            if rate <= _RATE_EPS:
+                continue
+            to_boundary = progress.work_to_epoch_boundary_mb
+            if to_boundary < progress.remaining_work_mb - _WORK_EPS_MB:
+                best = min(best, self.clock_s + to_boundary / rate)
+        return best
+
+    # ------------------------------------------------------------------
+    # Time advancement.
+    # ------------------------------------------------------------------
+
+    def _advance_to(self, t: float) -> None:
+        dt = t - self.clock_s
+        if dt <= 0:
+            self.clock_s = max(self.clock_s, t)
+            return
+        # Job progress.
+        for progress in self._active.values():
+            rate = self._throughput.get(progress.job.job_id, 0.0)
+            if rate > _RATE_EPS:
+                progress.advance(rate * dt)
+        # Cache fill. A job's own misses are by definition items it has
+        # not read this epoch and that are not effective for it, so they
+        # are always *new* to the cache when the job is the key's only
+        # filler: resident bytes grow linearly at the miss rate. When
+        # several jobs share a key, an item missed by one may already
+        # have been fetched by another; the duplicate probability is
+        # approximated by the resident fraction, giving the exponential
+        # ODE dR/dt = (d - R) * K with K = sum_j m_j / (d - eff_j).
+        fillers: Dict[str, List] = {}
+        for progress in self._active.values():
+            job = progress.job
+            miss = self._miss_rate.get(job.job_id, 0.0)
+            if miss <= _RATE_EPS:
+                continue
+            key = self.cache_system.cache_key(job)
+            state = self._cache.get(key)
+            if state is None or state.resident_mb >= state.target_mb - 1e-9:
+                continue
+            fillers.setdefault(key, []).append(
+                (miss, self._effective.get(job.job_id, 0.0))
+            )
+        for key, contributions in fillers.items():
+            state = self._cache[key]
+            cap = min(state.target_mb, state.size_mb)
+            if len(contributions) == 1:
+                miss, _eff = contributions[0]
+                filled = state.resident_mb + miss * dt
+            else:
+                k = sum(
+                    miss / max(1e-9, state.size_mb - eff)
+                    for miss, eff in contributions
+                )
+                filled = state.size_mb - (
+                    state.size_mb - state.resident_mb
+                ) * math.exp(-k * dt)
+            state.resident_mb = min(cap, filled)
+        # Hoard-style prefetching: spare egress warms queued datasets.
+        for key, rate in self._decision.prefetch_rates.items():
+            state = self._cache.get(key)
+            if state is None or rate <= 0:
+                continue
+            cap = min(state.target_mb, state.size_mb)
+            state.resident_mb = min(cap, state.resident_mb + rate * dt)
+        # New admissions may not push the pool past its capacity: data of
+        # unallocated (stale) keys is reclaimed to make room, exactly as
+        # a real cache evicts unpinned blocks on admission.
+        self._reclaim_overshoot()
+        self.clock_s = t
+
+    # ------------------------------------------------------------------
+    # Event handlers.
+    # ------------------------------------------------------------------
+
+    def _admit_arrivals(self) -> bool:
+        changed = False
+        while (
+            self._arrival_idx < len(self._trace)
+            and self._trace[self._arrival_idx].submit_time_s
+            <= self.clock_s + 1e-9
+        ):
+            job = self._trace[self._arrival_idx]
+            self._arrival_idx += 1
+            self._active[job.job_id] = JobProgress(job=job)
+            self._epochs_done[job.job_id] = 0
+            changed = True
+        return changed
+
+    def _retire_completions(self) -> bool:
+        changed = False
+        for job_id in list(self._active):
+            progress = self._active[job_id]
+            if progress.remaining_work_mb <= _WORK_EPS_MB:
+                progress.phase = JobPhase.FINISHED
+                progress.finish_time_s = self.clock_s
+                self._finished.append(progress)
+                del self._active[job_id]
+                self._effective.pop(job_id, None)
+                self._throughput.pop(job_id, None)
+                self._miss_rate.pop(job_id, None)
+                if self.cache_system.per_job_keys:
+                    # Private caches die with their jobs.
+                    self._cache.pop(job_id, None)
+                changed = True
+        return changed
+
+    def _inject_faults(self) -> bool:
+        """Apply any due fault-injection events (§6 fault tolerance)."""
+        changed = False
+        while self._crash_times and self._crash_times[0] <= self.clock_s + 1e-9:
+            self._crash_times.pop(0)
+            # In-memory cache-system state is gone; allocations and the
+            # on-disk cache content survive. Recovery = a fresh schedule.
+            self.cache_system.reset()
+            changed = True
+        while self._loss_times and self._loss_times[0] <= self.clock_s + 1e-9:
+            self._loss_times.pop(0)
+            n = max(1, len(self.cluster.servers))
+            survival = (n - 1) / n
+            for key, state in self._cache.items():
+                self._shrink(key, state, state.resident_mb * survival)
+            changed = True
+        return changed
+
+    def _promote_epoch_boundaries(self) -> bool:
+        """Detect epoch crossings; promote resident -> effective (§6)."""
+        flipped = False
+        for progress in self._active.values():
+            job = progress.job
+            epochs_now = progress.epoch_index
+            if progress.done:
+                continue
+            if epochs_now > self._epochs_done.get(job.job_id, 0):
+                self._epochs_done[job.job_id] = epochs_now
+                key = self.cache_system.cache_key(job)
+                state = self._cache.get(key)
+                resident = state.resident_mb if state else 0.0
+                self._effective[job.job_id] = min(
+                    job.dataset.size_mb, resident
+                )
+                flipped = True
+        return flipped
+
+    # ------------------------------------------------------------------
+    # Scheduling and storage decisions.
+    # ------------------------------------------------------------------
+
+    def _reschedule(self) -> None:
+        jobs = [p.job for p in self._active.values()]
+        self._allocation = self.scheduler.schedule(
+            jobs,
+            self.total,
+            now_s=self.clock_s,
+            effective_cache_mb=lambda job: self._effective.get(
+                job.job_id, 0.0
+            ),
+            attained_service_s=self._attained_service_s,
+        )
+        for progress in self._active.values():
+            job_id = progress.job.job_id
+            if self._allocation.gpus_of(job_id) > 0:
+                if progress.start_time_s is None:
+                    progress.start_time_s = self.clock_s
+                    progress.phase = JobPhase.RUNNING
+                    # A freshly started job immediately benefits from data
+                    # already resident for its dataset (sharing, §7.3).
+                    key = self.cache_system.cache_key(progress.job)
+                    state = self._cache.get(key)
+                    self._effective[job_id] = min(
+                        progress.job.dataset.size_mb,
+                        state.resident_mb if state else 0.0,
+                    )
+        self._storage_decide()
+
+    def _attained_service_s(self, job: Job) -> float:
+        """GPU-seconds of service the job has attained (for LAS).
+
+        Derived from progress: ``work_done / f*`` is the compute time the
+        job has effectively received at its requested GPU count.
+        """
+        progress = self._active.get(job.job_id)
+        if progress is None or job.ideal_throughput_mbps <= 0:
+            return 0.0
+        return (
+            progress.work_done_mb
+            / job.ideal_throughput_mbps
+            * job.num_gpus
+        )
+
+    def _running_jobs(self) -> List[Job]:
+        return [
+            p.job
+            for p in self._active.values()
+            if self._allocation.gpus_of(p.job.job_id) > 0
+        ]
+
+    def _active_jobs(self) -> List[Job]:
+        return [p.job for p in self._active.values()]
+
+    def _storage_decide(self) -> None:
+        running = self._running_jobs()
+        running_ids = {job.job_id for job in running}
+        queued = [
+            p.job
+            for p in self._active.values()
+            if p.job.job_id not in running_ids
+        ]
+        ctx = StorageContext(
+            running_jobs=running,
+            gpu_grants=dict(self._allocation.gpus),
+            total_gpus=self.total.gpus,
+            total_cache_mb=self.total.cache_mb,
+            total_io_mbps=self.total.remote_io_mbps,
+            effective_mb=lambda job: self._effective.get(job.job_id, 0.0),
+            first_epoch_done=lambda job: self._epochs_done.get(
+                job.job_id, 0
+            )
+            > 0,
+            estimator=self.scheduler.estimator,
+            clock_s=self.clock_s,
+            scheduler_allocation=self._allocation,
+            queued_jobs=queued,
+        )
+        self._decision = self.cache_system.decide(ctx)
+        self._apply_targets(self._active_jobs())
+        self._recompute_rates(running)
+
+    def _apply_targets(self, running: Sequence[Job]) -> None:
+        targets = self._decision.cache_targets
+        sizes = {}
+        for job in running:
+            sizes[self.cache_system.cache_key(job)] = job.dataset.size_mb
+        # Keys the current decision does not mention are unallocated:
+        # their target drops to zero so the oversubscription pass below
+        # can reclaim them. Their data stays resident opportunistically
+        # until that happens (uniform caching never evicts eagerly).
+        for key, state in self._cache.items():
+            if key not in targets:
+                state.target_mb = 0.0
+        for key, target in targets.items():
+            state = self._cache.get(key)
+            if state is None:
+                state = _CacheKeyState(size_mb=sizes.get(key, target))
+                self._cache[key] = state
+            state.size_mb = max(state.size_mb, sizes.get(key, state.size_mb))
+            state.target_mb = min(target, state.size_mb)
+            if state.resident_mb > state.target_mb + 1e-9:
+                self._shrink(key, state, state.target_mb)
+        # Keys without a current target keep their data only while the
+        # total pool is not oversubscribed (uniform caching never evicts
+        # eagerly); stale keys are evicted first when space is needed.
+        self._reclaim_overshoot()
+
+    def _reclaim_overshoot(self) -> None:
+        """Keep total resident bytes within the pool capacity.
+
+        Over-target keys (stale data first — smallest targets) are shrunk
+        until the pool fits; if every key is exactly at target and the
+        targets themselves oversubscribe (a misbehaving cache system),
+        everything is scaled back proportionally as a backstop.
+        """
+        total_resident = sum(s.resident_mb for s in self._cache.values())
+        overshoot = total_resident - self.total.cache_mb
+        if overshoot <= 1e-6:
+            return
+        for key in sorted(
+            self._cache,
+            key=lambda k: self._cache[k].target_mb,
+        ):
+            state = self._cache[key]
+            slack = state.resident_mb - state.target_mb
+            if slack <= 0:
+                continue
+            cut = min(slack, overshoot)
+            self._shrink(key, state, state.resident_mb - cut)
+            overshoot -= cut
+            if overshoot <= 1e-6:
+                return
+        if overshoot > 1e-6:
+            total = sum(s.resident_mb for s in self._cache.values())
+            if total > 0:
+                factor = self.total.cache_mb / total
+                for key, state in self._cache.items():
+                    self._shrink(key, state, state.resident_mb * factor)
+
+    def _shrink(self, key: str, state: _CacheKeyState, new_mb: float) -> None:
+        """Random eviction to ``new_mb``: effectiveness shrinks in ratio."""
+        if state.resident_mb <= 0:
+            return
+        ratio = max(0.0, new_mb) / state.resident_mb
+        state.resident_mb = max(0.0, new_mb)
+        for progress in self._active.values():
+            job = progress.job
+            if self.cache_system.cache_key(job) == key:
+                self._effective[job.job_id] = (
+                    self._effective.get(job.job_id, 0.0) * ratio
+                )
+
+    def _recompute_rates(self, running: Sequence[Job]) -> None:
+        self._throughput = {}
+        self._miss_rate = {}
+        estimator = self.scheduler.estimator
+        for job in running:
+            gpus = self._allocation.gpus_of(job.job_id)
+            f_star = estimator.compute_bound(job, gpus)
+            hit = min(1.0, max(0.0, self._decision.hit_ratios.get(job.job_id, 0.0)))
+            miss = 1.0 - hit
+            grant = self._decision.io_grants.get(job.job_id, 0.0)
+            if miss <= 1e-12:
+                rate = f_star
+            else:
+                rate = min(f_star, grant / miss)
+            self._throughput[job.job_id] = rate
+            self._miss_rate[job.job_id] = rate * miss
+
+    # ------------------------------------------------------------------
+    # Sampling and results.
+    # ------------------------------------------------------------------
+
+    def _sample(self) -> None:
+        running = self._running_jobs()
+        estimator = self.scheduler.estimator
+        ideal = sum(
+            estimator.compute_bound(
+                job, self._allocation.gpus_of(job.job_id)
+            )
+            for job in running
+        )
+        achieved = sum(self._throughput.get(j.job_id, 0.0) for j in running)
+        io_used = sum(self._miss_rate.get(j.job_id, 0.0) for j in running)
+        mature = [
+            job
+            for job in running
+            if self._epochs_done.get(job.job_id, 0) > 0
+        ]
+        fairness = fairness_ratio(
+            mature,
+            self._throughput,
+            self.total,
+            estimator,
+            storage_aware=True,
+            num_jobs=len(running),
+        )
+        # Figure 8's view: bytes allocated to *running* jobs (stale data
+        # of departed jobs lingers but is not "allocated") vs the bytes
+        # their jobs can actually hit.
+        live_keys = {self.cache_system.cache_key(job) for job in running}
+        resident = sum(
+            state.resident_mb
+            for key, state in self._cache.items()
+            if key in live_keys
+        )
+        by_key: Dict[str, float] = {}
+        for job in running:
+            key = self.cache_system.cache_key(job)
+            by_key[key] = max(
+                by_key.get(key, 0.0), self._effective.get(job.job_id, 0.0)
+            )
+        effective = sum(by_key.values())
+        self._timeline.append(
+            TimelineSample(
+                time_s=self.clock_s,
+                running_jobs=len(running),
+                queued_jobs=len(self._active) - len(running),
+                total_throughput_mbps=achieved,
+                ideal_throughput_mbps=ideal,
+                remote_io_used_mbps=io_used,
+                fairness_ratio=fairness,
+                resident_cache_mb=resident,
+                effective_cache_mb=effective,
+            )
+        )
+
+    def _result(self) -> RunResult:
+        records = []
+        all_progress = self._finished + list(self._active.values())
+        for progress in sorted(
+            all_progress, key=lambda p: p.job.submit_time_s
+        ):
+            job = progress.job
+            records.append(
+                JobRecord(
+                    job_id=job.job_id,
+                    model=job.model,
+                    dataset=job.dataset.name,
+                    num_gpus=job.num_gpus,
+                    submit_time_s=job.submit_time_s,
+                    start_time_s=progress.start_time_s,
+                    finish_time_s=progress.finish_time_s,
+                )
+            )
+        return RunResult(
+            scheduler_name=self.scheduler.policy.name,
+            cache_name=self.cache_system.name,
+            records=records,
+            timeline=self._timeline,
+            end_time_s=self.clock_s,
+        )

@@ -1,0 +1,551 @@
+"""Minibatch-granularity testbed emulator.
+
+The paper evaluates on real clusters by replacing GPU compute with
+``sleep()`` of a profiled per-batch duration ("GPU acceleration", §7) —
+the IO path stays real. This module is the same idea one level down: it
+emulates, per job, the two-stage pipeline of Figure 5 —
+
+    [data load: cache hit (local disk) | miss (throttled remote fetch)]
+      -> [compute: profiled step duration]
+
+over **item-granularity caches** (`repro.cache.items`) with real admission
+and eviction, per-epoch reshuffled access orders, and bounded prefetching.
+It is deliberately implemented independently of the fluid simulator's
+closed-form models so the two can cross-validate (our analog of Table 6's
+fidelity columns).
+
+Time is processed in fixed *decision intervals*: at each boundary the
+scheduling policy and the cache system re-decide (arrivals, completions,
+re-profiling), and within the interval each job advances its pipeline
+item by item under fixed grants.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.alluxio import AlluxioCache
+from repro.cache.base import CacheSystem, StorageContext, StorageDecision
+from repro.cache.items import LruItemCache, UniformItemCache
+from repro.cache.silod_cache import SiloDDataManager
+from repro.core.policies import io_share
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job, JobPhase, JobProgress
+from repro.core.policies.gavel import fairness_ratio
+from repro.core.resources import Allocation, ResourceVector
+from repro.core.silod import SiloDScheduler
+from repro.sim.metrics import JobRecord, RunResult, TimelineSample
+
+
+class _JobRuntime:
+    """Per-job pipeline state at item granularity."""
+
+    def __init__(
+        self,
+        job: Job,
+        item_size_mb: float,
+        seed: int,
+        prefetch_depth: int = 16,
+    ) -> None:
+        self.job = job
+        self.item_size_mb = item_size_mb
+        self.epoch_items = max(1, int(round(job.dataset.size_mb / item_size_mb)))
+        self.total_items = max(
+            1, int(round(job.total_work_mb / item_size_mb))
+        )
+        self.items_done = 0
+        self.epoch_pos = 0
+        self.epochs_done = 0
+        self.effective_items = 0
+        self.rng = random.Random(seed)
+        self.order: List[int] = list(range(self.epoch_items))
+        self.rng.shuffle(self.order)
+        self.io_free_t = 0.0
+        self.comp_free_t = 0.0
+        # Measured hit statistics feeding the work-conserving bandwidth
+        # division used by scheduler-oblivious cache systems.
+        self.hits_recent = 0
+        self.accesses_recent = 0
+        self.prefetch_depth = prefetch_depth
+        self.comp_finish_history: deque = deque(maxlen=prefetch_depth)
+        self.start_time_s: Optional[float] = None
+        self.finish_time_s: Optional[float] = None
+        # Per-interval accounting for throughput/IO timelines.
+        self.bytes_consumed_interval = 0.0
+        self.bytes_fetched_interval = 0.0
+        # Whether the pipeline ran in the previous interval; after an idle
+        # gap its clocks must be re-based to "now".
+        self.ran_last_interval = False
+
+    @property
+    def done(self) -> bool:
+        """Whether every item of the job's work has been consumed."""
+        return self.items_done >= self.total_items
+
+    def next_item(self) -> int:
+        """Item id the pipeline will read next (current epoch order)."""
+        return self.order[self.epoch_pos]
+
+    def advance_item(self) -> None:
+        """Consume one item; reshuffle at epoch boundaries."""
+        self.items_done += 1
+        self.epoch_pos += 1
+        if self.epoch_pos >= self.epoch_items:
+            self.epoch_pos = 0
+            self.epochs_done += 1
+            self.rng.shuffle(self.order)
+
+
+class MinibatchEmulator:
+    """Item-level pipeline emulator for a (scheduler, cache system) pair.
+
+    Parameters
+    ----------
+    cluster, scheduler, cache_system, jobs:
+        As in :class:`repro.sim.fluid.FluidSimulator`.
+    item_size_mb:
+        Emulation granularity: datasets are divided into items of this
+        size and one training step consumes one item. Hit statistics are
+        granularity-independent in expectation; smaller items cost more
+        CPU time.
+    decision_interval_s:
+        Cadence at which policies and grants refresh.
+    local_read_mbps:
+        Local-disk read bandwidth serving cache hits (Figure 3's premise
+        is that hits are effectively never the bottleneck).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: SiloDScheduler,
+        cache_system: CacheSystem,
+        jobs: Sequence[Job],
+        item_size_mb: float = 64.0,
+        decision_interval_s: float = 60.0,
+        sample_interval_s: float = 600.0,
+        local_read_mbps: float = 2000.0,
+        seed: int = 0,
+        max_time_s: Optional[float] = None,
+    ) -> None:
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job ids must be unique")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.cache_system = cache_system
+        self.total = ResourceVector(
+            gpus=cluster.total_gpus,
+            cache_mb=cluster.total_cache_mb,
+            remote_io_mbps=cluster.remote_io_mbps,
+        )
+        self._trace = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
+        self._item_size_mb = item_size_mb
+        self._interval_s = decision_interval_s
+        self._sample_interval_s = sample_interval_s
+        self._local_read_mbps = local_read_mbps
+        self._seed = seed
+        self._max_time_s = max_time_s
+        self._is_lru = isinstance(cache_system, AlluxioCache)
+
+        self.clock_s = 0.0
+        self._arrival_idx = 0
+        self._active: Dict[str, _JobRuntime] = {}
+        self._finished: List[_JobRuntime] = []
+        self._allocation = Allocation()
+        self._decision = StorageDecision({}, {}, {})
+        self._uniform_caches: Dict[str, UniformItemCache] = {}
+        self._lru_pool = LruItemCache(
+            int(cluster.total_cache_mb / item_size_mb)
+        )
+        self._timeline: List[TimelineSample] = []
+        self._last_sample_s = 0.0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run to completion (or ``max_time_s``) and return the result."""
+        self.cache_system.reset()
+        next_sample = 0.0
+        while not self._done():
+            if (
+                self._max_time_s is not None
+                and self.clock_s >= self._max_time_s
+            ):
+                break
+            if not self._active and self._arrival_idx < len(self._trace):
+                self.clock_s = max(
+                    self.clock_s,
+                    self._trace[self._arrival_idx].submit_time_s,
+                )
+            self._admit_arrivals()
+            self._retire_completions()
+            self._reschedule()
+            t_end = self.clock_s + self._interval_s
+            self._run_interval(t_end)
+            if self.clock_s >= next_sample:
+                self._sample()
+                next_sample = self.clock_s + self._sample_interval_s
+            self.clock_s = t_end
+        self._retire_completions()
+        self._sample()
+        return self._result()
+
+    # ------------------------------------------------------------------
+
+    def _done(self) -> bool:
+        return self._arrival_idx >= len(self._trace) and not self._active
+
+    def _admit_arrivals(self) -> None:
+        while (
+            self._arrival_idx < len(self._trace)
+            and self._trace[self._arrival_idx].submit_time_s
+            <= self.clock_s + 1e-9
+        ):
+            job = self._trace[self._arrival_idx]
+            self._arrival_idx += 1
+            runtime = _JobRuntime(
+                job,
+                self._item_size_mb,
+                seed=self._seed * 1_000_003 + self._arrival_idx,
+            )
+            self._active[job.job_id] = runtime
+
+    def _retire_completions(self) -> None:
+        for job_id in list(self._active):
+            runtime = self._active[job_id]
+            if runtime.done:
+                self._finished.append(runtime)
+                del self._active[job_id]
+                if self.cache_system.per_job_keys:
+                    self._uniform_caches.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # Scheduling and cache-state plumbing.
+    # ------------------------------------------------------------------
+
+    def _cache_items_of(self, key: str) -> int:
+        if self._is_lru:
+            return self._lru_pool.size
+        cache = self._uniform_caches.get(key)
+        return cache.size if cache else 0
+
+    def _effective_mb(self, job: Job) -> float:
+        runtime = self._active.get(job.job_id)
+        if runtime is None:
+            return 0.0
+        return runtime.effective_items * self._item_size_mb
+
+    def _reschedule(self) -> None:
+        jobs = [rt.job for rt in self._active.values()]
+        self._allocation = self.scheduler.schedule(
+            jobs,
+            self.total,
+            now_s=self.clock_s,
+            effective_cache_mb=self._effective_mb,
+        )
+        running = [
+            rt.job
+            for rt in self._active.values()
+            if self._allocation.gpus_of(rt.job.job_id) > 0
+        ]
+        running_ids = {job.job_id for job in running}
+        queued = [
+            rt.job
+            for rt in self._active.values()
+            if rt.job.job_id not in running_ids
+        ]
+        for rt in self._active.values():
+            if (
+                self._allocation.gpus_of(rt.job.job_id) > 0
+                and rt.start_time_s is None
+            ):
+                rt.start_time_s = self.clock_s
+                key = self.cache_system.cache_key(rt.job)
+                rt.effective_items = self._cache_items_of(key)
+        ctx = StorageContext(
+            running_jobs=running,
+            gpu_grants=dict(self._allocation.gpus),
+            total_gpus=self.total.gpus,
+            total_cache_mb=self.total.cache_mb,
+            total_io_mbps=self.total.remote_io_mbps,
+            effective_mb=self._effective_mb,
+            first_epoch_done=lambda job: (
+                self._active[job.job_id].epochs_done > 0
+                if job.job_id in self._active
+                else True
+            ),
+            estimator=self.scheduler.estimator,
+            clock_s=self.clock_s,
+            scheduler_allocation=self._allocation,
+            queued_jobs=queued,
+        )
+        self._decision = self.cache_system.decide(ctx)
+        if not isinstance(self.cache_system, SiloDDataManager):
+            self._work_conserving_io_grants(running)
+        if not self._is_lru:
+            self._apply_uniform_targets(running)
+            self._admit_prefetched_items()
+
+    def _work_conserving_io_grants(self, running: Sequence[Job]) -> None:
+        """Re-divide egress over *measured* demands for baseline systems.
+
+        Without scheduler throttling, the account's egress cap is shared
+        by the jobs' competing fetch streams, which is work-conserving:
+        bandwidth one job does not pull is available to the rest, and the
+        division tracks actual (not modelled) miss rates. Each job's
+        demand is estimated from its recently observed hit ratio; model
+        hit ratios seed jobs without history. Unclaimed bandwidth is
+        spread evenly so a job whose model over-promised hits (e.g. a
+        stale shared LRU) can still fetch.
+        """
+        demands = {}
+        for job in running:
+            rt = self._active.get(job.job_id)
+            f_star = self.scheduler.estimator.compute_bound(
+                job, self._allocation.gpus_of(job.job_id)
+            )
+            if rt is not None and rt.accesses_recent >= 20:
+                hit = rt.hits_recent / rt.accesses_recent
+            else:
+                hit = self._decision.hit_ratios.get(job.job_id, 0.0)
+            demands[job.job_id] = f_star * (1.0 - hit)
+        grants = io_share.max_min_waterfill(
+            demands, self.total.remote_io_mbps
+        )
+        leftover = self.total.remote_io_mbps - sum(grants.values())
+        if leftover > 1e-9 and running:
+            bonus = leftover / len(running)
+            for job in running:
+                grants[job.job_id] = grants.get(job.job_id, 0.0) + bonus
+        self._decision.io_grants = grants
+        for rt in self._active.values():
+            rt.hits_recent = 0
+            rt.accesses_recent = 0
+
+    def _apply_uniform_targets(self, running: Sequence[Job]) -> None:
+        targets = self._decision.cache_targets
+        for key, target_mb in targets.items():
+            capacity = int(target_mb / self._item_size_mb)
+            cache = self._uniform_caches.get(key)
+            if cache is None:
+                cache = UniformItemCache(
+                    capacity, rng=random.Random(self._seed + hash(key) % 9973)
+                )
+                self._uniform_caches[key] = cache
+            else:
+                before = cache.size
+                cache.resize(capacity)
+                if cache.size < before:
+                    # Random eviction scales effectiveness down (§6).
+                    ratio = cache.size / before if before else 0.0
+                    for rt in self._active.values():
+                        if self.cache_system.cache_key(rt.job) == key:
+                            rt.effective_items = int(
+                                rt.effective_items * ratio
+                            )
+        # Keys with no target are shrunk to zero only if the pool
+        # oversubscribes (uniform caching never evicts eagerly).
+        total_items = sum(c.size for c in self._uniform_caches.values())
+        pool_items = int(self.total.cache_mb / self._item_size_mb)
+        if total_items > pool_items:
+            for key in list(self._uniform_caches):
+                if key not in targets:
+                    freed = self._uniform_caches[key].size
+                    self._uniform_caches[key].resize(0)
+                    total_items -= freed
+                    if total_items <= pool_items:
+                        break
+
+    def _admit_prefetched_items(self) -> None:
+        """Fetch random uncached items of prefetch-targeted datasets."""
+        if not self._decision.prefetch_rates:
+            return
+        epoch_items_by_key = {}
+        for rt in self._active.values():
+            epoch_items_by_key[self.cache_system.cache_key(rt.job)] = (
+                rt.epoch_items
+            )
+        rng = random.Random(self._seed * 7919 + int(self.clock_s))
+        for key, rate in self._decision.prefetch_rates.items():
+            cache = self._uniform_caches.get(key)
+            population = epoch_items_by_key.get(key)
+            if cache is None or not population or rate <= 0:
+                continue
+            budget_items = int(rate * self._interval_s / self._item_size_mb)
+            for _ in range(budget_items):
+                if cache.size >= cache.capacity:
+                    break
+                cache.access((key, rng.randrange(population)))
+
+    # ------------------------------------------------------------------
+    # The per-interval pipeline.
+    # ------------------------------------------------------------------
+
+    def _run_interval(self, t_end: float) -> None:
+        for rt in self._active.values():
+            job = rt.job
+            gpus = self._allocation.gpus_of(job.job_id)
+            if gpus <= 0 or rt.done:
+                rt.ran_last_interval = False
+                continue
+            f_star = self.scheduler.estimator.compute_bound(job, gpus)
+            if f_star <= 0:
+                continue
+            step_time = self._item_size_mb / f_star
+            io_rate = self._decision.io_grants.get(job.job_id, 0.0)
+            fetch_time = (
+                self._item_size_mb / io_rate if io_rate > 0 else math.inf
+            )
+            local_time = self._item_size_mb / self._local_read_mbps
+            if not rt.ran_last_interval:
+                # Re-base after idle/preemption; while running, the
+                # pipeline clocks carry over so no lead time is lost.
+                rt.io_free_t = max(rt.io_free_t, self.clock_s)
+                rt.comp_free_t = max(rt.comp_free_t, self.clock_s)
+            self._run_job_pipeline(
+                rt, t_end, step_time, fetch_time, local_time
+            )
+            rt.ran_last_interval = True
+
+    def _run_job_pipeline(
+        self,
+        rt: _JobRuntime,
+        t_end: float,
+        step_time: float,
+        fetch_time: float,
+        local_time: float,
+    ) -> None:
+        key = self.cache_system.cache_key(rt.job)
+        target_items = int(
+            self._decision.cache_targets.get(key, 0.0) / self._item_size_mb
+        )
+        while rt.comp_free_t < t_end and not rt.done:
+            item = (key, rt.next_item())
+            if self._is_lru:
+                hit = self._lru_pool.access(item)
+            else:
+                cache = self._uniform_caches.get(key)
+                hit = cache is not None and item in cache
+                if not hit and cache is not None and cache.size < target_items:
+                    cache.access(item)  # admit under target
+            rt.accesses_recent += 1
+            if hit:
+                rt.hits_recent += 1
+                io_time = local_time
+            else:
+                io_time = fetch_time
+                if math.isinf(io_time):
+                    # No remote bandwidth: the job stalls this interval.
+                    rt.comp_free_t = t_end
+                    break
+                rt.bytes_fetched_interval += self._item_size_mb
+            # Bounded prefetch: the loader may run at most
+            # ``prefetch_depth`` items ahead of compute.
+            gate = (
+                rt.comp_finish_history[0]
+                if len(rt.comp_finish_history) == rt.prefetch_depth
+                else 0.0
+            )
+            io_start = max(rt.io_free_t, gate)
+            rt.io_free_t = io_start + io_time
+            comp_start = max(rt.comp_free_t, rt.io_free_t)
+            rt.comp_free_t = comp_start + step_time
+            rt.comp_finish_history.append(rt.comp_free_t)
+            rt.bytes_consumed_interval += self._item_size_mb
+            was_last_of_epoch = rt.epoch_pos == rt.epoch_items - 1
+            rt.advance_item()
+            if was_last_of_epoch:
+                # Delayed effectiveness: everything resident *now* becomes
+                # usable from the next epoch on.
+                rt.effective_items = self._cache_items_of(key)
+            if rt.done:
+                rt.finish_time_s = rt.comp_free_t
+
+    # ------------------------------------------------------------------
+    # Sampling and results.
+    # ------------------------------------------------------------------
+
+    def _sample(self) -> None:
+        interval = max(self.clock_s - self._last_sample_s, self._interval_s)
+        self._last_sample_s = self.clock_s
+        running_jobs = []
+        throughputs: Dict[str, float] = {}
+        io_used = 0.0
+        achieved = 0.0
+        ideal = 0.0
+        for rt in self._active.values():
+            gpus = self._allocation.gpus_of(rt.job.job_id)
+            if gpus <= 0:
+                continue
+            running_jobs.append(rt.job)
+            rate = rt.bytes_consumed_interval / interval
+            throughputs[rt.job.job_id] = rate
+            achieved += rate
+            io_used += rt.bytes_fetched_interval / interval
+            ideal += self.scheduler.estimator.compute_bound(rt.job, gpus)
+            rt.bytes_consumed_interval = 0.0
+            rt.bytes_fetched_interval = 0.0
+        mature = [
+            job
+            for job in running_jobs
+            if self._active[job.job_id].epochs_done > 0
+        ]
+        fairness = fairness_ratio(
+            mature,
+            throughputs,
+            self.total,
+            self.scheduler.estimator,
+            storage_aware=True,
+            num_jobs=len(running_jobs),
+        )
+        if self._is_lru:
+            resident = self._lru_pool.size * self._item_size_mb
+        else:
+            resident = (
+                sum(c.size for c in self._uniform_caches.values())
+                * self._item_size_mb
+            )
+        effective = sum(
+            rt.effective_items * self._item_size_mb
+            for rt in self._active.values()
+        )
+        self._timeline.append(
+            TimelineSample(
+                time_s=self.clock_s,
+                running_jobs=len(running_jobs),
+                queued_jobs=len(self._active) - len(running_jobs),
+                total_throughput_mbps=achieved,
+                ideal_throughput_mbps=ideal,
+                remote_io_used_mbps=io_used,
+                fairness_ratio=fairness,
+                resident_cache_mb=resident,
+                effective_cache_mb=min(effective, resident),
+            )
+        )
+
+    def _result(self) -> RunResult:
+        records = []
+        everything = self._finished + list(self._active.values())
+        for rt in sorted(everything, key=lambda r: r.job.submit_time_s):
+            records.append(
+                JobRecord(
+                    job_id=rt.job.job_id,
+                    model=rt.job.model,
+                    dataset=rt.job.dataset.name,
+                    num_gpus=rt.job.num_gpus,
+                    submit_time_s=rt.job.submit_time_s,
+                    start_time_s=rt.start_time_s,
+                    finish_time_s=rt.finish_time_s,
+                )
+            )
+        return RunResult(
+            scheduler_name=self.scheduler.policy.name,
+            cache_name=self.cache_system.name,
+            records=records,
+            timeline=self._timeline,
+            end_time_s=self.clock_s,
+        )

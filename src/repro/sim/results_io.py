@@ -1,0 +1,113 @@
+"""RunResult serialization.
+
+Experiment outputs are written as JSON so that sweeps can be archived,
+diffed across code versions, and post-processed without re-simulating.
+The format is self-describing and versioned like the trace format.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+from repro.sim.metrics import JobRecord, RunResult, TimelineSample
+
+_VERSION = 1
+
+
+def _clean(value):
+    """JSON cannot carry inf/nan; encode them as None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """A JSON-safe representation of a run result."""
+    return {
+        "v": _VERSION,
+        "scheduler": result.scheduler_name,
+        "cache": result.cache_name,
+        "end_time_s": result.end_time_s,
+        "records": [
+            {
+                "job_id": r.job_id,
+                "model": r.model,
+                "dataset": r.dataset,
+                "num_gpus": r.num_gpus,
+                "submit_time_s": r.submit_time_s,
+                "start_time_s": r.start_time_s,
+                "finish_time_s": r.finish_time_s,
+            }
+            for r in result.records
+        ],
+        "timeline": [
+            {
+                "time_s": s.time_s,
+                "running_jobs": s.running_jobs,
+                "queued_jobs": s.queued_jobs,
+                "total_throughput_mbps": s.total_throughput_mbps,
+                "ideal_throughput_mbps": s.ideal_throughput_mbps,
+                "remote_io_used_mbps": s.remote_io_used_mbps,
+                "fairness_ratio": _clean(s.fairness_ratio),
+                "resident_cache_mb": s.resident_cache_mb,
+                "effective_cache_mb": s.effective_cache_mb,
+            }
+            for s in result.timeline
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a run result from its JSON form."""
+    if data.get("v") != _VERSION:
+        raise ValueError(f"unsupported result format version {data.get('v')}")
+    records = [
+        JobRecord(
+            job_id=r["job_id"],
+            model=r["model"],
+            dataset=r["dataset"],
+            num_gpus=int(r["num_gpus"]),
+            submit_time_s=float(r["submit_time_s"]),
+            start_time_s=r["start_time_s"],
+            finish_time_s=r["finish_time_s"],
+        )
+        for r in data["records"]
+    ]
+    timeline = [
+        TimelineSample(
+            time_s=float(s["time_s"]),
+            running_jobs=int(s["running_jobs"]),
+            queued_jobs=int(s["queued_jobs"]),
+            total_throughput_mbps=float(s["total_throughput_mbps"]),
+            ideal_throughput_mbps=float(s["ideal_throughput_mbps"]),
+            remote_io_used_mbps=float(s["remote_io_used_mbps"]),
+            fairness_ratio=(
+                float("nan")
+                if s["fairness_ratio"] is None
+                else float(s["fairness_ratio"])
+            ),
+            resident_cache_mb=float(s["resident_cache_mb"]),
+            effective_cache_mb=float(s["effective_cache_mb"]),
+        )
+        for s in data["timeline"]
+    ]
+    return RunResult(
+        scheduler_name=data["scheduler"],
+        cache_name=data["cache"],
+        records=records,
+        timeline=timeline,
+        end_time_s=float(data["end_time_s"]),
+    )
+
+
+def save_result(result: RunResult, path: Union[str, Path]) -> None:
+    """Write a run result as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result)))
+
+
+def load_result(path: Union[str, Path]) -> RunResult:
+    """Read a run result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,73 @@
+"""Dataset catalog (Tables 1 and 4).
+
+The sizes are the paper's: ImageNet-22k 1.36 TB, Open Images 660 GB,
+ImageNet-1k 143 GB, YouTube-8M 1.46 TB, and the internal Web Search corpus
+20.9 TB. Table 1's growth survey is kept as data for the Table 1 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import units
+from repro.cluster.dataset import Dataset, DatasetRegistry
+
+#: Table 4's datasets. Item counts: ImageNet-1k/22k per their published
+#: image counts; others estimated from typical item sizes (only the count
+#: scale matters for item-level emulation).
+IMAGENET_22K = Dataset("imagenet-22k", units.tb(1.36), num_items=14_200_000)
+OPEN_IMAGES = Dataset("open-images", units.gb(660.0), num_items=9_000_000)
+IMAGENET_1K = Dataset("imagenet-1k", units.gb(143.0), num_items=1_281_167)
+YOUTUBE_8M = Dataset("youtube-8m", units.tb(1.46), num_items=8_000_000)
+WEB_SEARCH = Dataset("web-search", units.tb(20.9), num_items=200_000_000)
+
+TABLE4_DATASETS: List[Dataset] = [
+    IMAGENET_22K,
+    OPEN_IMAGES,
+    IMAGENET_1K,
+    YOUTUBE_8M,
+    WEB_SEARCH,
+]
+
+
+def default_registry() -> DatasetRegistry:
+    """A registry pre-populated with Table 4's datasets."""
+    registry = DatasetRegistry()
+    for dataset in TABLE4_DATASETS:
+        registry.add(dataset)
+    return registry
+
+
+def synthetic_images(name: str, size_tb: float = 1.3) -> Dataset:
+    """A synthesized image dataset (the micro-benchmark's 1.3 TB sets)."""
+    size_mb = units.tb(size_tb)
+    # ~110 KB per image, as in ImageNet-1k.
+    num_items = max(1, int(size_mb / 0.110))
+    return Dataset(name, size_mb, num_items=num_items)
+
+
+#: Table 1: dataset sizes surveyed at Microsoft, early 2020 versus the
+#: growth reported/planned over the following 24 months.
+TABLE1_GROWTH: Dict[str, Dict[str, float]] = {
+    "task-1": {"year_2020_mb": units.tb(25.0), "in_24_months_mb": units.tb(100.0)},
+    "task-2": {"year_2020_mb": units.gb(100.0), "in_24_months_mb": units.tb(1.0)},
+    "task-3": {"year_2020_mb": units.gb(100.0), "in_24_months_mb": units.tb(3.0)},
+    "task-4": {"year_2020_mb": units.tb(5.0), "in_24_months_mb": units.tb(10.0)},
+    "task-5": {"year_2020_mb": units.tb(1.5), "in_24_months_mb": units.tb(400.0)},
+}
+
+
+def table1_rows() -> List[dict]:
+    """Table 1 as report rows with growth factors."""
+    rows = []
+    for task, sizes in TABLE1_GROWTH.items():
+        rows.append(
+            {
+                "task": task,
+                "year_2020_tb": units.mb_to_tb(sizes["year_2020_mb"]),
+                "in_24_months_tb": units.mb_to_tb(sizes["in_24_months_mb"]),
+                "growth_factor": sizes["in_24_months_mb"]
+                / sizes["year_2020_mb"],
+            }
+        )
+    return rows

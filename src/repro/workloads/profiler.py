@@ -1,0 +1,124 @@
+"""Offline job profiling (§5.3: "the ideal throughput of a job f* ...
+can be profiled offline").
+
+SiloD's policies rely on two offline-profiled quantities per job: the
+compute-bound throughput ``f*`` and the dataset size. This module
+measures ``f*`` the way a profiling run would — execute the job's
+pipeline in isolation with data loading guaranteed not to bottleneck —
+using the minibatch emulator as the testbed, and derives the per-GPU
+scaling the trace generator assumes (Table 2 shows data-parallel IO
+demand scaling near-linearly with GPU count).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job
+from repro.sim.minibatch import MinibatchEmulator
+from repro.sim.runner import make_system
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileResult:
+    """Measured compute-bound throughput of a job."""
+
+    job_id: str
+    model: str
+    num_gpus: int
+    measured_f_star_mbps: float
+    declared_f_star_mbps: float
+
+    @property
+    def error(self) -> float:
+        """Relative gap between measured and declared throughput."""
+        if self.declared_f_star_mbps == 0:
+            return float("nan")
+        return (
+            abs(self.measured_f_star_mbps - self.declared_f_star_mbps)
+            / self.declared_f_star_mbps
+        )
+
+
+def profile_job(
+    job: Job,
+    profile_epochs: float = 1.0,
+    item_size_mb: float = 64.0,
+) -> ProfileResult:
+    """Measure a job's ``f*`` in isolation with unconstrained IO.
+
+    The profiling cluster gives the job exactly its requested GPUs, a
+    cache larger than the dataset, and egress far above its demand, so
+    whatever throughput emerges is compute-bound. One epoch of profiled
+    work suffices (mini-batch times are stable, §4).
+    """
+    if profile_epochs <= 0:
+        raise ValueError("profile_epochs must be positive")
+    work_mb = profile_epochs * job.dataset.size_mb
+    probe = Job(
+        job_id=f"profile-{job.job_id}",
+        model=job.model,
+        dataset=job.dataset,
+        num_gpus=job.num_gpus,
+        ideal_throughput_mbps=job.ideal_throughput_mbps,
+        total_work_mb=work_mb,
+        regular=job.regular,
+    )
+    cluster = Cluster.build(
+        num_servers=1,
+        gpus_per_server=job.num_gpus,
+        cache_per_server_mb=2 * job.dataset.size_mb,
+        remote_io_mbps=max(10.0, 10.0 * job.ideal_throughput_mbps),
+    )
+    scheduler, cache_system = make_system("fifo", "silod")
+    emulator = MinibatchEmulator(
+        cluster,
+        scheduler,
+        cache_system,
+        [probe],
+        item_size_mb=min(item_size_mb, job.dataset.size_mb / 4),
+    )
+    result = emulator.run()
+    record = result.records[0]
+    if record.finish_time_s is None or record.start_time_s is None:
+        raise RuntimeError(f"profiling run for {job.job_id} did not finish")
+    elapsed = record.finish_time_s - record.start_time_s
+    measured = work_mb / elapsed if elapsed > 0 else 0.0
+    return ProfileResult(
+        job_id=job.job_id,
+        model=job.model,
+        num_gpus=job.num_gpus,
+        measured_f_star_mbps=measured,
+        declared_f_star_mbps=job.ideal_throughput_mbps,
+    )
+
+
+def profile_jobs(
+    jobs: Sequence[Job], **kwargs
+) -> List[ProfileResult]:
+    """Profile several jobs in isolation."""
+    return [profile_job(job, **kwargs) for job in jobs]
+
+
+def scaling_table(
+    model: str,
+    dataset,
+    gpu_counts: Sequence[int],
+    make_job_fn,
+    **kwargs,
+) -> Dict[int, float]:
+    """Measured ``f*`` per GPU count — a Table 2-style scaling profile.
+
+    ``make_job_fn(job_id, model, dataset, num_gpus=...)`` builds the job
+    (pass :func:`repro.workloads.models.make_job` with ``num_epochs``
+    pre-bound, or a custom factory).
+    """
+    table = {}
+    for gpus in gpu_counts:
+        job = make_job_fn(
+            f"scale-{model}-{gpus}", model, dataset, num_gpus=gpus
+        )
+        table[gpus] = profile_job(job, **kwargs).measured_f_star_mbps
+    return table

@@ -1,0 +1,37 @@
+"""Per-job access bitsets (§6 delayed effectiveness)."""
+
+from repro.cache.bitset import JobAccessBitset
+
+
+def test_fresh_job_sees_preexisting_residents():
+    bitset = JobAccessBitset()
+    bitset.reset(resident={1, 2, 3})
+    assert bitset.is_effective(1)
+    assert not bitset.is_effective(9)
+    assert bitset.epoch == 0
+
+
+def test_mid_epoch_additions_are_not_effective_until_next_epoch():
+    bitset = JobAccessBitset()
+    bitset.reset(resident=set())
+    bitset.mark_accessed(7)  # item 7 fetched and cached mid-epoch
+    assert not bitset.is_effective(7)
+    bitset.start_epoch(resident={7})
+    assert bitset.is_effective(7)
+    assert bitset.epoch == 1
+
+
+def test_effective_count_intersects_with_residents():
+    bitset = JobAccessBitset()
+    bitset.start_epoch(resident={1, 2, 3, 4})
+    # Two of the effective items have since been evicted.
+    assert bitset.effective_count(resident={3, 4, 9}) == 2
+
+
+def test_accessed_counter_resets_each_epoch():
+    bitset = JobAccessBitset()
+    bitset.mark_accessed(1)
+    bitset.mark_accessed(2)
+    assert bitset.accessed_this_epoch == 2
+    bitset.start_epoch(resident=set())
+    assert bitset.accessed_this_epoch == 0

@@ -1,0 +1,117 @@
+"""Item-granularity caches."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.items import LruItemCache, UniformItemCache, measure_hit_ratio
+
+
+class TestUniformItemCache:
+    def test_admits_until_capacity_then_stops(self):
+        cache = UniformItemCache(2)
+        assert not cache.access("a")
+        assert not cache.access("b")
+        assert not cache.access("c")  # full: not admitted
+        assert cache.access("a")
+        assert cache.access("b")
+        assert not cache.access("c")  # still not cached
+        assert cache.size == 2
+
+    def test_never_evicts_on_access(self):
+        cache = UniformItemCache(1)
+        cache.access("a")
+        for item in ["b", "c", "d"]:
+            cache.access(item)
+        assert "a" in cache
+
+    def test_resize_shrink_evicts_randomly(self):
+        cache = UniformItemCache(100, rng=random.Random(7))
+        for i in range(100):
+            cache.access(i)
+        cache.resize(40)
+        assert cache.size == 40
+        assert cache.capacity == 40
+        # Survivors are a subset of the original items.
+        assert cache.snapshot() <= set(range(100))
+
+    def test_resize_grow_keeps_items(self):
+        cache = UniformItemCache(2)
+        cache.access("a")
+        cache.resize(10)
+        assert "a" in cache
+        assert cache.capacity == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformItemCache(-1)
+        cache = UniformItemCache(1)
+        with pytest.raises(ValueError):
+            cache.resize(-2)
+
+
+class TestLruItemCache:
+    def test_evicts_least_recently_used(self):
+        cache = LruItemCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # evicts a
+        assert "a" not in cache
+        assert "b" in cache
+        assert "c" in cache
+
+    def test_hit_refreshes_recency(self):
+        cache = LruItemCache(2)
+        cache.access("a")
+        cache.access("b")
+        assert cache.access("a")  # refresh a
+        cache.access("c")  # evicts b, not a
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_zero_capacity_never_caches(self):
+        cache = LruItemCache(0)
+        assert not cache.access("a")
+        assert cache.size == 0
+
+    def test_resize_shrink_drops_lru_end(self):
+        cache = LruItemCache(3)
+        for item in ["a", "b", "c"]:
+            cache.access(item)
+        cache.resize(1)
+        assert cache.snapshot() == {"c"}
+
+
+def test_measure_hit_ratio_with_warmup():
+    cache = UniformItemCache(10)
+    stream = list(range(10)) * 3
+    ratio = measure_hit_ratio(cache, stream, warmup=10)
+    assert ratio == pytest.approx(1.0)
+
+
+@given(
+    capacity=st.integers(min_value=0, max_value=50),
+    accesses=st.lists(st.integers(min_value=0, max_value=99), max_size=300),
+)
+@settings(max_examples=50)
+def test_caches_never_exceed_capacity(capacity, accesses):
+    for cache in (UniformItemCache(capacity), LruItemCache(capacity)):
+        for item in accesses:
+            cache.access(item)
+            assert cache.size <= capacity
+
+
+@given(
+    accesses=st.lists(
+        st.integers(min_value=0, max_value=20), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=50)
+def test_infinite_capacity_caches_behave_identically(accesses):
+    """With room for everything, uniform and LRU give identical hits."""
+    uniform = UniformItemCache(1000)
+    lru = LruItemCache(1000)
+    for item in accesses:
+        assert uniform.access(item) == lru.access(item)

@@ -1,0 +1,31 @@
+"""Job fair-share weights."""
+
+import pytest
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.job import Job
+
+
+def test_default_weight_is_one():
+    job = Job(
+        job_id="j",
+        model="m",
+        dataset=Dataset("d", 100.0),
+        num_gpus=1,
+        ideal_throughput_mbps=10.0,
+        total_work_mb=100.0,
+    )
+    assert job.weight == 1.0
+
+
+def test_weight_must_be_positive():
+    with pytest.raises(ValueError):
+        Job(
+            job_id="j",
+            model="m",
+            dataset=Dataset("d", 100.0),
+            num_gpus=1,
+            ideal_throughput_mbps=10.0,
+            total_work_mb=100.0,
+            weight=0.0,
+        )

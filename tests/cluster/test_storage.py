@@ -1,0 +1,74 @@
+"""Remote storage grants and the peer-read fabric model (Figure 3)."""
+
+import pytest
+
+from repro.cluster import storage
+
+
+def test_remote_storage_grants_respect_limit():
+    remote = storage.RemoteStorage(egress_limit_mbps=200.0)
+    remote.grant("a", 120.0)
+    remote.grant("b", 80.0)
+    assert remote.available_mbps == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        remote.grant("c", 1.0)
+    # Replacing a grant frees its old share.
+    remote.grant("a", 20.0)
+    remote.grant("c", 100.0)
+    assert remote.granted_mbps == pytest.approx(200.0)
+
+
+def test_remote_storage_revoke_and_clear():
+    remote = storage.RemoteStorage(egress_limit_mbps=100.0)
+    remote.grant("a", 60.0)
+    remote.revoke("a")
+    remote.revoke("a")  # idempotent
+    assert remote.grant_of("a") == 0.0
+    remote.grant("b", 100.0)
+    remote.clear()
+    assert remote.available_mbps == pytest.approx(100.0)
+
+
+def test_remote_storage_validation():
+    with pytest.raises(ValueError):
+        storage.RemoteStorage(egress_limit_mbps=0.0)
+    remote = storage.RemoteStorage(egress_limit_mbps=10.0)
+    with pytest.raises(ValueError):
+        remote.grant("a", -1.0)
+
+
+def test_peer_read_scales_nearly_linearly():
+    # Figure 3: with a datacenter fabric, 50 servers each demanding
+    # 1923 MB/s (ResNet-50 on 8xA100) still load at full demand.
+    single = storage.peer_read_throughput(1, 1923.0)
+    fifty = storage.peer_read_throughput(50, 1923.0)
+    assert single == pytest.approx(1923.0)
+    assert fifty == pytest.approx(50 * 1923.0)
+
+
+def test_peer_read_bottlenecked_by_slow_fabric():
+    # A 1 Gbps fabric (125 MB/s) cannot carry the peer fraction.
+    agg = storage.peer_read_throughput(10, 1923.0, fabric_mbps=125.0)
+    assert agg < 10 * 1923.0
+    assert agg == pytest.approx(10 * 125.0 / 0.9)
+
+
+def test_local_read_capped_by_disk():
+    assert storage.local_read_throughput(4, 3000.0, local_disk_mbps=2000.0) == (
+        pytest.approx(8000.0)
+    )
+
+
+def test_scaling_series_shape():
+    rows = storage.peer_read_scaling_series([1, 10, 50])
+    assert [r["servers"] for r in rows] == [1, 10, 50]
+    for row in rows:
+        # Peer reads never exceed the no-bottleneck linear line.
+        assert row["peer_read_gbps"] <= row["linear_gbps"] + 1e-9
+
+
+def test_invalid_server_counts():
+    with pytest.raises(ValueError):
+        storage.peer_read_throughput(0, 100.0)
+    with pytest.raises(ValueError):
+        storage.local_read_throughput(0, 100.0)

@@ -1,0 +1,159 @@
+"""Gavel max-min fairness (Eq 8-9)."""
+
+import pytest
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.job import Job
+from repro.core.estimator import SiloDPerfEstimator
+from repro.core.policies.base import ScheduleContext
+from repro.core.policies.gavel import GavelPolicy, equal_share, fairness_ratio
+from repro.core.resources import ResourceVector
+
+TB = 1024.0 * 1024.0
+ESTIMATOR = SiloDPerfEstimator()
+
+
+def job(job_id, f_star=114.0, d_mb=1.36 * TB, gpus=1, work_epochs=3.0):
+    return Job(
+        job_id=job_id,
+        model="m",
+        dataset=Dataset(f"d-{job_id}", d_mb),
+        num_gpus=gpus,
+        ideal_throughput_mbps=f_star,
+        total_work_mb=work_epochs * d_mb,
+    )
+
+
+def silod_ctx():
+    return ScheduleContext(estimator=ESTIMATOR, storage_aware=True)
+
+
+def throughput_under(alloc, j):
+    return ESTIMATOR.estimate(
+        j,
+        alloc.gpus_of(j.job_id),
+        alloc.cache_of(j.dataset.name),
+        alloc.remote_io_of(j.job_id),
+    )
+
+
+class TestEqualShare:
+    def test_caps_at_request_and_dataset(self):
+        total = ResourceVector(gpus=100, cache_mb=10 * TB, remote_io_mbps=1000)
+        j = job("a", d_mb=1000.0, gpus=2)
+        share = equal_share(j, 2, total, ESTIMATOR, storage_aware=True)
+        assert share.gpus == 2  # capped at the request, not 50
+        assert share.cache_mb == 1000.0  # capped at the dataset
+        assert share.perf_mbps == pytest.approx(114.0)
+
+    def test_vanilla_ignores_storage(self):
+        total = ResourceVector(gpus=2, cache_mb=0.0, remote_io_mbps=1.0)
+        j = job("a")
+        share = equal_share(j, 1, total, ESTIMATOR, storage_aware=False)
+        assert share.perf_mbps == pytest.approx(114.0)  # no IO awareness
+
+
+class TestVanillaGavel:
+    def test_proportional_time_share(self):
+        total = ResourceVector(gpus=4, cache_mb=0, remote_io_mbps=0)
+        jobs = [job("a", gpus=4), job("b", gpus=4)]
+        ctx = ScheduleContext(estimator=ESTIMATOR, storage_aware=False)
+        alloc = GavelPolicy().schedule(jobs, total, ctx)
+        assert alloc.gpus_of("a") == pytest.approx(2.0)
+        assert alloc.gpus_of("b") == pytest.approx(2.0)
+
+    def test_small_jobs_saturate_then_release(self):
+        total = ResourceVector(gpus=4, cache_mb=0, remote_io_mbps=0)
+        jobs = [job("small", gpus=1), job("big", gpus=8)]
+        ctx = ScheduleContext(estimator=ESTIMATOR, storage_aware=False)
+        alloc = GavelPolicy().schedule(jobs, total, ctx)
+        assert alloc.gpus_of("small") == pytest.approx(1.0)
+        assert alloc.gpus_of("big") == pytest.approx(3.0)
+
+
+class TestFigure4:
+    """The paper's motivating max-min example (Figure 4).
+
+    Two 1-GPU ResNet-50 jobs, private 1.36 TB datasets, 1.4 TB cache,
+    ~104 MB/s total egress. Optimal max-min splits both resources evenly
+    and reaches ~107 MB/s per job — versus Quiver's 114/52 split.
+    """
+
+    def test_joint_allocation_lifts_the_minimum_to_107(self):
+        total = ResourceVector(
+            gpus=2, cache_mb=1.4 * TB, remote_io_mbps=104.0
+        )
+        jobs = [job("job-0"), job("job-1")]
+        alloc = GavelPolicy().schedule(jobs, total, silod_ctx())
+        f0 = throughput_under(alloc, jobs[0])
+        f1 = throughput_under(alloc, jobs[1])
+        # The paper's even split reaches (107, 107); our lexicographic
+        # solver reaches the same minimum and may push the other job
+        # higher (a Pareto improvement with an identical max-min value).
+        assert min(f0, f1) == pytest.approx(107.0, rel=0.03)
+        assert max(f0, f1) <= 114.0 + 1e-6
+        assert min(f0, f1) > 52.0  # far above Quiver's starved job
+
+
+class TestJointGavel:
+    def test_io_bound_job_is_not_overfed_gpus(self):
+        # One job is hopelessly IO-bound; Gavel should not waste GPU
+        # share on it beyond what its storage supports.
+        total = ResourceVector(gpus=2, cache_mb=0.0, remote_io_mbps=20.0)
+        jobs = [job("bound", f_star=114.0), job("light", f_star=10.0)]
+        alloc = GavelPolicy().schedule(jobs, total, silod_ctx())
+        bound_gpus = alloc.gpus_of("bound")
+        # Its achievable throughput is at most ~its IO grant; GPU fraction
+        # should track that, not sit at 1.0.
+        assert bound_gpus < 1.0
+        assert throughput_under(alloc, jobs[1]) > 0
+
+    def test_allocation_within_budget(self):
+        total = ResourceVector(gpus=4, cache_mb=1 * TB, remote_io_mbps=100.0)
+        jobs = [job(f"j{i}", f_star=50.0 + 20 * i) for i in range(4)]
+        alloc = GavelPolicy().schedule(jobs, total, silod_ctx())
+        used = alloc.total()
+        assert used.gpus <= total.gpus + 1e-6
+        assert used.cache_mb <= total.cache_mb + 1e-6
+        assert used.remote_io_mbps <= total.remote_io_mbps + 1e-6
+
+    def test_cold_caches_shift_grants_to_io(self):
+        total = ResourceVector(gpus=2, cache_mb=4 * TB, remote_io_mbps=104.0)
+        jobs = [job("job-0"), job("job-1")]
+        ctx = ScheduleContext(
+            estimator=ESTIMATOR,
+            storage_aware=True,
+            effective_cache_mb=lambda j: 0.0,
+        )
+        alloc = GavelPolicy().schedule(jobs, total, ctx)
+        # With nothing effective yet, hits are impossible: IO grants must
+        # carry the full targets.
+        io_total = sum(alloc.remote_io.values())
+        assert io_total == pytest.approx(104.0, rel=0.02)
+
+    def test_single_job_gets_everything_it_can_use(self):
+        total = ResourceVector(gpus=8, cache_mb=2 * TB, remote_io_mbps=200.0)
+        jobs = [job("only")]
+        alloc = GavelPolicy().schedule(jobs, total, silod_ctx())
+        assert throughput_under(alloc, jobs[0]) == pytest.approx(114.0)
+
+
+def test_fairness_ratio_metric():
+    total = ResourceVector(gpus=2, cache_mb=2.72 * TB, remote_io_mbps=104.0)
+    jobs = [job("job-0"), job("job-1")]
+    ratio = fairness_ratio(
+        jobs, {"job-0": 107.0, "job-1": 107.0}, total, ESTIMATOR
+    )
+    assert ratio > 0
+    # Starving one job lowers the min ratio.
+    starved = fairness_ratio(
+        jobs, {"job-0": 114.0, "job-1": 20.0}, total, ESTIMATOR
+    )
+    assert starved < ratio
+
+
+def test_empty_job_list():
+    alloc = GavelPolicy().schedule(
+        [], ResourceVector(gpus=1, cache_mb=1, remote_io_mbps=1), silod_ctx()
+    )
+    assert alloc.gpus == {}

@@ -1,0 +1,142 @@
+"""Property-based tests of the Gavel joint solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.job import Job
+from repro.core.estimator import SiloDPerfEstimator
+from repro.core.policies.base import ScheduleContext
+from repro.core.policies.gavel import GavelPolicy
+from repro.core.resources import ResourceVector
+
+GB = 1024.0
+ESTIMATOR = SiloDPerfEstimator()
+
+job_sets = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=500.0),   # f*
+        st.floats(min_value=1.0, max_value=500.0),   # dataset GB
+        st.integers(min_value=1, max_value=8),       # gpus
+    ),
+    min_size=1,
+    max_size=8,
+)
+totals = st.tuples(
+    st.integers(min_value=1, max_value=32),          # gpus
+    st.floats(min_value=0.0, max_value=1_000.0),     # cache GB
+    st.floats(min_value=1.0, max_value=500.0),       # io MB/s
+)
+
+
+def build(specs):
+    return [
+        Job(
+            job_id=f"g{i}",
+            model="m",
+            dataset=Dataset(f"d-{i}", d_gb * GB),
+            num_gpus=gpus,
+            ideal_throughput_mbps=f_star,
+            total_work_mb=2 * d_gb * GB,
+        )
+        for i, (f_star, d_gb, gpus) in enumerate(specs)
+    ]
+
+
+def throughputs(alloc, jobs):
+    return {
+        j.job_id: ESTIMATOR.estimate(
+            j,
+            alloc.gpus_of(j.job_id),
+            alloc.cache_of(j.dataset.name),
+            alloc.remote_io_of(j.job_id),
+        )
+        for j in jobs
+    }
+
+
+@given(specs=job_sets, total_spec=totals)
+@settings(max_examples=60, deadline=None)
+def test_joint_allocation_respects_budgets(specs, total_spec):
+    gpus, cache_gb, io = total_spec
+    jobs = build(specs)
+    total = ResourceVector(
+        gpus=gpus, cache_mb=cache_gb * GB, remote_io_mbps=io
+    )
+    alloc = GavelPolicy().schedule(
+        jobs, total, ScheduleContext(estimator=ESTIMATOR)
+    )
+    used = alloc.total()
+    assert used.gpus <= total.gpus * (1 + 1e-6) + 1e-6
+    assert used.cache_mb <= total.cache_mb * (1 + 1e-6) + 1e-6
+    assert used.remote_io_mbps <= total.remote_io_mbps * (1 + 1e-6) + 1e-6
+    # No job exceeds its request or its compute bound.
+    for j in jobs:
+        assert alloc.gpus_of(j.job_id) <= j.num_gpus + 1e-9
+        assert (
+            throughputs(alloc, jobs)[j.job_id]
+            <= j.ideal_throughput_mbps + 1e-6
+        )
+
+
+@given(specs=job_sets)
+@settings(max_examples=30, deadline=None)
+def test_solver_is_deterministic(specs):
+    """Same inputs produce the identical allocation (no hidden state)."""
+    jobs = build(specs)
+    total = ResourceVector(gpus=16, cache_mb=100 * GB, remote_io_mbps=50.0)
+    ctx = ScheduleContext(estimator=ESTIMATOR)
+    first = throughputs(GavelPolicy().schedule(jobs, total, ctx), jobs)
+    second = throughputs(GavelPolicy().schedule(jobs, total, ctx), jobs)
+    for job_id, value in first.items():
+        assert second[job_id] == value
+
+
+@given(
+    f_star=st.floats(min_value=5.0, max_value=300.0),
+    d_gb=st.floats(min_value=10.0, max_value=400.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_weighted_fairness_orders_identical_jobs(f_star, d_gb):
+    """Of two identical jobs, the weight-2 one receives at least as much
+    throughput, and at most ~2x (its entitlement)."""
+    base = dict(
+        model="m",
+        num_gpus=1,
+        ideal_throughput_mbps=f_star,
+        total_work_mb=2 * d_gb * GB,
+    )
+    heavy = Job(
+        job_id="heavy", dataset=Dataset("d-h", d_gb * GB), weight=2.0, **base
+    )
+    light = Job(
+        job_id="light", dataset=Dataset("d-l", d_gb * GB), weight=1.0, **base
+    )
+    # Scarce egress so the weights actually bind.
+    total = ResourceVector(
+        gpus=2, cache_mb=0.5 * d_gb * GB, remote_io_mbps=f_star
+    )
+    ctx = ScheduleContext(estimator=ESTIMATOR)
+    achieved = throughputs(
+        GavelPolicy().schedule([heavy, light], total, ctx), [heavy, light]
+    )
+    assert achieved["heavy"] >= achieved["light"] - 1e-6
+    if achieved["light"] > 1e-6:
+        assert achieved["heavy"] <= 2.0 * achieved["light"] * (1 + 1e-3)
+
+
+@given(specs=job_sets)
+@settings(max_examples=30, deadline=None)
+def test_single_job_is_never_worse_than_equal_share(specs):
+    """The max-min value is at least the equal-division value: ratio >= 1
+    is always feasible, so no job lands below its equal share."""
+    jobs = build(specs)
+    total = ResourceVector(gpus=16, cache_mb=200 * GB, remote_io_mbps=100.0)
+    ctx = ScheduleContext(estimator=ESTIMATOR)
+    alloc = GavelPolicy().schedule(jobs, total, ctx)
+    achieved = throughputs(alloc, jobs)
+    from repro.core.policies.gavel import equal_share
+
+    for j in jobs:
+        share = equal_share(j, len(jobs), total, ESTIMATOR, True)
+        assert achieved[j.job_id] >= share.perf_mbps * (1 - 1e-4)

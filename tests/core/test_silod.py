@@ -1,0 +1,81 @@
+"""The SiloD scheduling framework (Algorithm 1, irregular partitioning)."""
+
+import pytest
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.job import Job
+from repro.core.policies.fifo import FifoPolicy
+from repro.core.resources import Allocation, ResourceVector
+from repro.core.silod import SiloDScheduler, merge_allocations
+
+TOTAL = ResourceVector(gpus=8, cache_mb=4000.0, remote_io_mbps=200.0)
+
+
+def job(job_id, regular=True, gpus=1, f_star=100.0):
+    return Job(
+        job_id=job_id,
+        model="m",
+        dataset=Dataset(f"d-{job_id}", 1000.0),
+        num_gpus=gpus,
+        ideal_throughput_mbps=f_star,
+        total_work_mb=2000.0,
+        regular=regular,
+    )
+
+
+def test_storage_aware_schedule_produces_joint_allocation():
+    scheduler = SiloDScheduler(FifoPolicy())
+    alloc = scheduler.schedule([job("a"), job("b")], TOTAL)
+    assert alloc.gpus_of("a") == 1
+    assert sum(alloc.cache.values()) > 0
+    assert "a" in alloc.remote_io
+
+
+def test_vanilla_schedule_is_compute_only():
+    scheduler = SiloDScheduler(FifoPolicy(), storage_aware=False)
+    alloc = scheduler.schedule([job("a")], TOTAL)
+    assert alloc.gpus_of("a") == 1
+    assert alloc.cache == {}
+
+
+def test_irregular_jobs_partitioned():
+    scheduler = SiloDScheduler(FifoPolicy())
+    jobs = [job("reg1"), job("reg2"), job("irr", regular=False, gpus=2)]
+    alloc = scheduler.schedule(jobs, TOTAL)
+    # Everyone runs.
+    for j in jobs:
+        assert alloc.gpus_of(j.job_id) == j.num_gpus
+    # The irregular job gets storage from its own partition.
+    assert alloc.remote_io_of("irr") > 0
+    assert alloc.cache_of("d-irr") > 0
+    # Total grants stay within the cluster.
+    used = alloc.total()
+    assert used.cache_mb <= TOTAL.cache_mb + 1e-6
+    assert used.remote_io_mbps <= TOTAL.remote_io_mbps + 1e-6
+
+
+def test_partition_sizes_follow_gpu_demand():
+    scheduler = SiloDScheduler(FifoPolicy())
+    # Irregular demand = 6 of 8 GPUs: regular pool keeps only a quarter.
+    jobs = [job("reg"), job("irr1", regular=False, gpus=3), job("irr2", regular=False, gpus=3)]
+    alloc = scheduler.schedule(jobs, TOTAL)
+    # Regular job's dataset cannot receive more than the regular pool.
+    assert alloc.cache_of("d-reg") <= TOTAL.cache_mb * (1 / 7) + 1e-6
+
+
+def test_merge_allocations_rejects_duplicate_jobs():
+    a = Allocation()
+    a.grant_gpus("j", 1)
+    b = Allocation()
+    b.grant_gpus("j", 1)
+    with pytest.raises(ValueError):
+        merge_allocations(a, b)
+
+
+def test_merge_allocations_takes_max_cache_per_dataset():
+    a = Allocation()
+    a.grant_cache("d", 100.0)
+    b = Allocation()
+    b.grant_cache("d", 300.0)
+    merged = merge_allocations(a, b)
+    assert merged.cache_of("d") == 300.0

@@ -1,0 +1,56 @@
+"""Dataset sharing end-to-end (§6, §7.3)."""
+
+import pytest
+
+from repro.cluster.hardware import Cluster
+from repro.sim.runner import run_experiment
+from repro.workloads.trace import TraceConfig, generate_trace
+
+GB = 1024.0
+
+
+def cluster():
+    return Cluster.build(2, 8, 8 * 128.0 * GB, 300.0)
+
+
+def trace(shared_fraction):
+    cfg = TraceConfig(
+        num_jobs=40,
+        seed=21,
+        shared_dataset_fraction=shared_fraction,
+        mean_interarrival_s=240.0,
+        duration_median_s=2400.0,
+    )
+    return generate_trace(cfg)
+
+
+@pytest.mark.parametrize("policy", ["fifo", "sjf"])
+def test_sharing_improves_average_jct(policy):
+    """Figure 15: more jobs sharing datasets -> lower average JCT."""
+    no_sharing = run_experiment(
+        cluster(), policy, "silod", trace(0.0),
+        reschedule_interval_s=1200.0,
+    )
+    full_sharing = run_experiment(
+        cluster(), policy, "silod", trace(1.0),
+        reschedule_interval_s=1200.0,
+    )
+    assert (
+        full_sharing.average_jct_minutes()
+        < no_sharing.average_jct_minutes()
+    )
+
+
+def test_sharing_cuts_remote_io_usage():
+    no_sharing = run_experiment(
+        cluster(), "fifo", "silod", trace(0.0),
+        reschedule_interval_s=1200.0,
+    )
+    full_sharing = run_experiment(
+        cluster(), "fifo", "silod", trace(1.0),
+        reschedule_interval_s=1200.0,
+    )
+    def total_io(result):
+        return sum(s.remote_io_used_mbps for s in result.timeline)
+
+    assert total_io(full_sharing) < total_io(no_sharing)

@@ -1,0 +1,104 @@
+"""Property-based fuzzing of the fluid simulator.
+
+Random small traces are driven through random (policy, cache)
+configurations, and the physical invariants are asserted on every run:
+
+* every job finishes (no deadlock, no lost work);
+* finish >= start >= submit for every job;
+* remote IO usage never exceeds the egress cap;
+* effective cached bytes never exceed resident bytes;
+* resident bytes never exceed the cache pool.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job
+from repro.sim.fluid import FluidSimulator
+from repro.sim.runner import make_system
+
+GB = 1024.0
+
+job_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=5.0, max_value=200.0),   # f* MB/s
+        st.floats(min_value=1.0, max_value=60.0),    # dataset GB
+        st.floats(min_value=0.2, max_value=5.0),     # epochs
+        st.integers(min_value=1, max_value=4),       # gpus
+        st.floats(min_value=0.0, max_value=5_000.0), # submit
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def scenarios(draw):
+    specs = draw(job_specs)
+    jobs = [
+        Job(
+            job_id=f"fuzz-{i}",
+            model="fuzz",
+            dataset=Dataset(f"d-{i}", d_gb * GB),
+            num_gpus=gpus,
+            ideal_throughput_mbps=f_star,
+            total_work_mb=max(1.0, epochs * d_gb * GB),
+            submit_time_s=submit,
+        )
+        for i, (f_star, d_gb, epochs, gpus, submit) in enumerate(specs)
+    ]
+    policy = draw(st.sampled_from(["fifo", "sjf", "gavel", "las"]))
+    cache = draw(
+        st.sampled_from(["silod", "alluxio", "coordl", "quiver"])
+    )
+    cache_gb = draw(st.floats(min_value=5.0, max_value=150.0))
+    egress = draw(st.floats(min_value=10.0, max_value=400.0))
+    return jobs, policy, cache, cache_gb, egress
+
+
+@given(scenario=scenarios())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_fluid_simulator_invariants(scenario):
+    jobs, policy, cache, cache_gb, egress = scenario
+    cluster = Cluster.build(2, 4, cache_gb * GB / 2, egress)
+    scheduler, cache_system = make_system(policy, cache)
+    sim = FluidSimulator(
+        cluster,
+        scheduler,
+        cache_system,
+        jobs,
+        reschedule_interval_s=600.0,
+        sample_interval_s=900.0,
+    )
+    result = sim.run()
+
+    # Everything finishes, in causal order.
+    assert len(result.finished_records()) == len(jobs)
+    for record in result.records:
+        assert record.start_time_s >= record.submit_time_s - 1e-6
+        assert record.finish_time_s >= record.start_time_s - 1e-6
+        assert math.isfinite(record.jct_s)
+
+    # Physical budgets hold at every sample.
+    for sample in result.timeline:
+        assert (
+            sample.remote_io_used_mbps
+            <= cluster.remote_io_mbps * (1 + 1e-6)
+        )
+        assert (
+            sample.effective_cache_mb
+            <= sample.resident_cache_mb + 1e-6
+        )
+        assert (
+            sample.resident_cache_mb
+            <= cluster.total_cache_mb * (1 + 1e-6)
+        )
+        assert sample.total_throughput_mbps >= -1e-9

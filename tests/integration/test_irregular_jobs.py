@@ -1,0 +1,61 @@
+"""Irregular-job partitioning end-to-end (§6)."""
+
+import pytest
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job
+from repro.sim.runner import make_system
+from repro.sim.fluid import FluidSimulator
+
+GB = 1024.0
+
+
+def job(job_id, regular, f_star=100.0, d_gb=40.0, epochs=3.0):
+    return Job(
+        job_id=job_id,
+        model="m",
+        dataset=Dataset(f"d-{job_id}", d_gb * GB),
+        num_gpus=1,
+        ideal_throughput_mbps=f_star,
+        total_work_mb=epochs * d_gb * GB,
+        regular=regular,
+    )
+
+
+def run(jobs):
+    cluster = Cluster.build(1, 4, 100.0 * GB, 80.0)
+    scheduler, cache_system = make_system("fifo", "silod")
+    return FluidSimulator(cluster, scheduler, cache_system, jobs).run()
+
+
+def test_mixed_cluster_completes():
+    jobs = [
+        job("reg-0", True),
+        job("reg-1", True),
+        job("irr-0", False),
+    ]
+    result = run(jobs)
+    assert len(result.finished_records()) == 3
+
+
+def test_irregular_jobs_make_progress():
+    jobs = [job("reg-0", True), job("irr-0", False)]
+    result = run(jobs)
+    by_id = {r.job_id: r for r in result.records}
+    assert by_id["irr-0"].finished
+    assert by_id["irr-0"].jct_s < float("inf")
+
+
+def test_regular_jobs_not_starved_by_irregular_pool():
+    """Regular jobs keep their co-designed storage benefits even when an
+    irregular job shares the cluster."""
+    mixed = run([job("reg-0", True), job("irr-0", False)])
+    alone = run([job("reg-0", True)])
+    reg_mixed = next(
+        r for r in mixed.records if r.job_id == "reg-0"
+    )
+    reg_alone = alone.records[0]
+    # Sharing the cluster can slow it down, but not catastrophically
+    # (both fit on the 4 GPUs; only storage is contended).
+    assert reg_mixed.jct_s < reg_alone.jct_s * 3.0

@@ -1,0 +1,115 @@
+"""White-box tests of the fluid simulator's cache dynamics.
+
+These pin down the §6 semantics the integration tests rely on: random
+eviction scales effectiveness proportionally, stale (unallocated) data is
+reclaimed under pool pressure, and fills never exceed targets or the pool.
+"""
+
+import pytest
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job, JobProgress
+from repro.sim.fluid import FluidSimulator, _CacheKeyState
+from repro.sim.runner import make_system
+
+GB = 1024.0
+
+
+def make_sim(jobs=(), cache_gb=100.0, io=100.0):
+    scheduler, cache_system = make_system("fifo", "silod")
+    cluster = Cluster.build(2, 2, cache_gb * GB / 2, io)
+    return FluidSimulator(cluster, scheduler, cache_system, list(jobs))
+
+
+def job(job_id, d_gb=10.0):
+    return Job(
+        job_id=job_id,
+        model="m",
+        dataset=Dataset(f"d-{job_id}", d_gb * GB),
+        num_gpus=1,
+        ideal_throughput_mbps=50.0,
+        total_work_mb=2 * d_gb * GB,
+    )
+
+
+class TestShrink:
+    def test_random_eviction_scales_effectiveness(self):
+        j = job("a")
+        sim = make_sim([j])
+        sim._active[j.job_id] = JobProgress(job=j)
+        state = _CacheKeyState(
+            size_mb=10.0 * GB, resident_mb=8.0 * GB, target_mb=8.0 * GB
+        )
+        sim._cache["d-a"] = state
+        sim._effective["a"] = 6.0 * GB
+        sim._shrink("d-a", state, 4.0 * GB)
+        assert state.resident_mb == pytest.approx(4.0 * GB)
+        # Effectiveness halves with the resident bytes (random victims).
+        assert sim._effective["a"] == pytest.approx(3.0 * GB)
+
+    def test_shrink_to_zero(self):
+        j = job("a")
+        sim = make_sim([j])
+        sim._active[j.job_id] = JobProgress(job=j)
+        state = _CacheKeyState(size_mb=GB, resident_mb=GB, target_mb=GB)
+        sim._cache["d-a"] = state
+        sim._effective["a"] = GB
+        sim._shrink("d-a", state, 0.0)
+        assert state.resident_mb == 0.0
+        assert sim._effective["a"] == 0.0
+
+
+class TestReclaimOvershoot:
+    def test_stale_keys_reclaimed_first(self):
+        sim = make_sim(cache_gb=10.0)
+        sim._cache["stale"] = _CacheKeyState(
+            size_mb=8.0 * GB, resident_mb=8.0 * GB, target_mb=0.0
+        )
+        sim._cache["live"] = _CacheKeyState(
+            size_mb=6.0 * GB, resident_mb=6.0 * GB, target_mb=6.0 * GB
+        )
+        sim._reclaim_overshoot()
+        total = sum(s.resident_mb for s in sim._cache.values())
+        assert total <= 10.0 * GB + 1e-6
+        # The allocated key is untouched; the stale one paid.
+        assert sim._cache["live"].resident_mb == pytest.approx(6.0 * GB)
+        assert sim._cache["stale"].resident_mb == pytest.approx(4.0 * GB)
+
+    def test_proportional_backstop_when_targets_oversubscribe(self):
+        sim = make_sim(cache_gb=10.0)
+        # A misbehaving cache system targeted 2x the pool.
+        for name in ("a", "b"):
+            sim._cache[name] = _CacheKeyState(
+                size_mb=10.0 * GB,
+                resident_mb=10.0 * GB,
+                target_mb=10.0 * GB,
+            )
+        sim._reclaim_overshoot()
+        total = sum(s.resident_mb for s in sim._cache.values())
+        assert total <= 10.0 * GB * (1 + 1e-6)
+
+    def test_no_action_when_under_budget(self):
+        sim = make_sim(cache_gb=10.0)
+        sim._cache["a"] = _CacheKeyState(
+            size_mb=GB, resident_mb=GB, target_mb=GB
+        )
+        sim._reclaim_overshoot()
+        assert sim._cache["a"].resident_mb == pytest.approx(GB)
+
+
+class TestAttainedService:
+    def test_attained_service_tracks_progress(self):
+        j = job("a", d_gb=10.0)
+        sim = make_sim([j])
+        progress = JobProgress(job=j)
+        progress.work_done_mb = 5.0 * GB
+        sim._active[j.job_id] = progress
+        # 5 GB at 50 MB/s on 1 GPU -> 102.4 s of GPU service.
+        assert sim._attained_service_s(j) == pytest.approx(
+            5.0 * GB / 50.0
+        )
+
+    def test_unknown_job_has_zero_service(self):
+        sim = make_sim()
+        assert sim._attained_service_s(job("ghost")) == 0.0

@@ -1,0 +1,47 @@
+"""Prefetch admission in the minibatch emulator."""
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.hardware import Cluster
+from repro.cluster.job import Job
+from repro.sim.minibatch import MinibatchEmulator
+from repro.sim.runner import make_system
+
+GB = 1024.0
+
+
+def test_emulator_prefetch_warms_queued_dataset():
+    # One GPU held by a low-IO job; the queued job's dataset is prefetched
+    # with the idle egress, so its items are already cached at start.
+    cluster = Cluster.build(1, 1, 100.0 * GB, 60.0)
+    blocker = Job(
+        job_id="blocker",
+        model="m",
+        dataset=Dataset("d-blocker", 10.0 * GB),
+        num_gpus=1,
+        ideal_throughput_mbps=5.0,  # barely touches the egress
+        total_work_mb=2 * 10.0 * GB,
+    )
+    follower = Job(
+        job_id="follower",
+        model="m",
+        dataset=Dataset("d-follower", 20.0 * GB),
+        num_gpus=1,
+        ideal_throughput_mbps=100.0,
+        total_work_mb=2 * 20.0 * GB,
+        submit_time_s=1.0,
+    )
+
+    def run(cache):
+        scheduler, cache_system = make_system("fifo", cache)
+        return MinibatchEmulator(
+            cluster,
+            scheduler,
+            cache_system,
+            [blocker, follower],
+            item_size_mb=128.0,
+        ).run()
+
+    plain = run("silod")
+    prefetched = run("silod-prefetch")
+    jct = lambda r: {x.job_id: x.jct_s for x in r.finished_records()}
+    assert jct(prefetched)["follower"] < jct(plain)["follower"]

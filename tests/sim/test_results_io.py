@@ -1,0 +1,62 @@
+"""RunResult serialization round trips."""
+
+import math
+
+import pytest
+
+from repro.cluster.hardware import Cluster
+from repro.sim.results_io import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.sim.runner import run_experiment
+from repro.workloads.datasets import synthetic_images
+from repro.workloads.models import make_job
+
+GB = 1024.0
+
+
+def small_result():
+    cluster = Cluster.build(1, 2, 20.0 * GB, 100.0)
+    jobs = [
+        make_job(
+            "a", "resnet50", synthetic_images("r-a", size_tb=0.005),
+            num_epochs=2,
+        ),
+        make_job(
+            "b", "bert", synthetic_images("r-b", size_tb=0.005),
+            num_epochs=1, submit_time_s=30.0,
+        ),
+    ]
+    return run_experiment(cluster, "fifo", "silod", jobs,
+                          sample_interval_s=120.0)
+
+
+def test_round_trip_preserves_metrics(tmp_path):
+    result = small_result()
+    path = tmp_path / "result.json"
+    save_result(result, path)
+    restored = load_result(path)
+    assert restored.scheduler_name == result.scheduler_name
+    assert restored.cache_name == result.cache_name
+    assert restored.average_jct_s() == pytest.approx(result.average_jct_s())
+    assert restored.makespan_s() == pytest.approx(result.makespan_s())
+    assert len(restored.timeline) == len(result.timeline)
+    # NaN fairness samples survive the JSON trip as NaN.
+    for original, copied in zip(result.timeline, restored.timeline):
+        if math.isnan(original.fairness_ratio):
+            assert math.isnan(copied.fairness_ratio)
+        else:
+            assert copied.fairness_ratio == pytest.approx(
+                original.fairness_ratio
+            )
+
+
+def test_version_check():
+    result = small_result()
+    data = result_to_dict(result)
+    data["v"] = 42
+    with pytest.raises(ValueError):
+        result_from_dict(data)

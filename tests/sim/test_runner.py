@@ -1,0 +1,99 @@
+"""Experiment runner factory and coupling rule."""
+
+import pytest
+
+from repro.cache.silod_cache import SiloDDataManager
+from repro.cluster.hardware import Cluster
+from repro.sim.runner import (
+    CACHES,
+    POLICIES,
+    make_cache,
+    make_policy,
+    make_system,
+    run_experiment,
+    run_matrix,
+)
+from repro.workloads.models import make_job
+from repro.workloads.datasets import synthetic_images
+
+GB = 1024.0
+
+
+def tiny_trace():
+    return [
+        make_job(
+            "a",
+            "resnet50",
+            synthetic_images("s-a", size_tb=0.01),
+            num_epochs=2,
+        ),
+        make_job(
+            "b",
+            "efficientnet-b1",
+            synthetic_images("s-b", size_tb=0.01),
+            num_epochs=2,
+        ),
+    ]
+
+
+def tiny_cluster():
+    return Cluster.build(1, 4, 15.0 * GB, 100.0)
+
+
+def test_factories_cover_all_names():
+    for name in POLICIES:
+        assert make_policy(name).name == name
+    for name in CACHES:
+        assert make_cache(name).name == name
+    with pytest.raises(ValueError):
+        make_policy("lifo")
+    with pytest.raises(ValueError):
+        make_cache("memcached")
+
+
+def test_coupling_rule():
+    scheduler, cache = make_system("fifo", "silod")
+    assert scheduler.storage_aware
+    assert isinstance(cache, SiloDDataManager)
+    scheduler, cache = make_system("gavel", "alluxio")
+    assert not scheduler.storage_aware
+
+
+def test_ablation_cache_names():
+    cache = make_cache("silod-no-io-alloc")
+    assert cache.name == "silod-no-io-alloc"
+    scheduler, cache = make_system("gavel", "silod-no-io-alloc")
+    assert scheduler.storage_aware  # still the co-designed scheduler
+
+
+def test_run_experiment_both_simulators():
+    for simulator in ("fluid", "minibatch"):
+        result = run_experiment(
+            tiny_cluster(),
+            "fifo",
+            "silod",
+            tiny_trace(),
+            simulator=simulator,
+        )
+        assert len(result.finished_records()) == 2
+    with pytest.raises(ValueError):
+        run_experiment(
+            tiny_cluster(), "fifo", "silod", tiny_trace(), simulator="magic"
+        )
+
+
+def test_run_matrix_covers_grid():
+    results = run_matrix(
+        tiny_cluster(),
+        tiny_trace(),
+        policies=("fifo", "sjf"),
+        caches=("silod", "coordl"),
+    )
+    assert set(results) == {
+        ("fifo", "silod"),
+        ("fifo", "coordl"),
+        ("sjf", "silod"),
+        ("sjf", "coordl"),
+    }
+    for result in results.values():
+        assert len(result.finished_records()) == 2

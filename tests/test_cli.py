@@ -1,0 +1,58 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.trace_io import load_trace
+
+
+def test_estimate_command(capsys):
+    code = main([
+        "estimate", "--f-star", "114", "--dataset-gb", "1392.64",
+        "--cache-gb", "696.32", "--io-mbps", "52",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SiloDPerf" in out
+    assert "104" in out  # 52 / 0.5 = 104 MB/s
+
+
+def test_trace_and_run_commands(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    code = main([
+        "trace", str(trace_path), "--jobs", "6", "--seed", "3",
+        "--gpus", "8", "--duration-median-min", "30",
+    ])
+    assert code == 0
+    jobs = load_trace(trace_path)
+    assert len(jobs) == 6
+
+    code = main([
+        "run", str(trace_path), "--policy", "fifo", "--cache", "silod",
+        "--gpus", "8", "--gpus-per-server", "4", "--egress-gbps", "1.6",
+        "--cache-per-gpu-gb", "64",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "average JCT" in out
+    assert "6/6" in out
+
+
+def test_matrix_command(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    main(["trace", str(trace_path), "--jobs", "4", "--seed", "4",
+          "--gpus", "8", "--duration-median-min", "20"])
+    code = main([
+        "matrix", str(trace_path), "--policies", "fifo",
+        "--caches", "silod", "coordl",
+        "--gpus", "8", "--gpus-per-server", "4", "--egress-gbps", "1.6",
+        "--cache-per-gpu-gb", "64",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "coordl" in out and "silod" in out
+
+
+def test_unknown_command_fails():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,84 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+#: Private names and re-exports are exempt; everything else must document.
+EXEMPT_NAMES = {"__init__", "__main__"}
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        yield name, member
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [
+        module.__name__
+        for module in _walk_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not undocumented, undocumented
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    undocumented = []
+    for module in _walk_modules():
+        for name, member in _public_members(module):
+            if not (member.__doc__ or "").strip():
+                undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_every_public_method_has_a_docstring():
+    undocumented = []
+    for module in _walk_modules():
+        for cls_name, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, method in vars(cls).items():
+                if name.startswith("_") or name in EXEMPT_NAMES:
+                    continue
+                if not (
+                    inspect.isfunction(method)
+                    or isinstance(method, property)
+                ):
+                    continue
+                doc = (
+                    method.fget.__doc__
+                    if isinstance(method, property)
+                    else method.__doc__
+                )
+                if (doc or "").strip():
+                    continue
+                # Overrides inherit the contract (and docstring) of the
+                # base-class method they implement.
+                inherited = any(
+                    (getattr(base, name, None) is not None)
+                    and (
+                        (getattr(base, name).__doc__ or "").strip()
+                    )
+                    for base in cls.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(
+                        f"{module.__name__}.{cls_name}.{name}"
+                    )
+    assert not undocumented, undocumented

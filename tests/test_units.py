@@ -1,0 +1,40 @@
+"""Unit-conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_gb_tb_roundtrip():
+    assert units.gb(1.0) == 1024.0
+    assert units.tb(1.0) == 1024.0 * 1024.0
+    assert units.mb_to_gb(units.gb(143.0)) == pytest.approx(143.0)
+    assert units.mb_to_tb(units.tb(20.9)) == pytest.approx(20.9)
+
+
+def test_gbps_matches_paper_conversion():
+    # The paper scales 1.6 Gbps to 200 MB/s (Table 5 / §7.1.1).
+    assert units.gbps(1.6) == pytest.approx(200.0)
+    # And the 400-GPU simulation's 32 Gbps to 4 GB/s.
+    assert units.gbps(32.0) == pytest.approx(4000.0, rel=1e-9)
+
+
+def test_time_helpers():
+    assert units.minutes(1) == 60.0
+    assert units.hours(2) == 7200.0
+    assert units.days(1) == 86400.0
+    assert units.weeks(4) == 4 * 7 * 86400.0
+    assert units.seconds_to_minutes(units.minutes(42)) == pytest.approx(42.0)
+
+
+@given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+def test_gbps_roundtrip(value):
+    assert units.mbps_to_gbps(units.gbps(value)) == pytest.approx(value)
+
+
+@given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+def test_size_roundtrip(value):
+    assert units.mb_to_gb(units.gb(value)) == pytest.approx(value)
+    assert units.mb_to_tb(units.tb(value)) == pytest.approx(value)

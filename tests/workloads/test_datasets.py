@@ -1,0 +1,38 @@
+"""Dataset catalog (Tables 1 and 4)."""
+
+import pytest
+
+from repro import units
+from repro.workloads import datasets as ds
+
+
+def test_table4_sizes():
+    assert ds.IMAGENET_22K.size_mb == pytest.approx(units.tb(1.36))
+    assert ds.OPEN_IMAGES.size_mb == pytest.approx(units.gb(660))
+    assert ds.IMAGENET_1K.size_mb == pytest.approx(units.gb(143))
+    assert ds.YOUTUBE_8M.size_mb == pytest.approx(units.tb(1.46))
+    assert ds.WEB_SEARCH.size_mb == pytest.approx(units.tb(20.9))
+
+
+def test_default_registry_contains_table4():
+    registry = ds.default_registry()
+    assert len(registry) == 5
+    assert "imagenet-1k" in registry
+
+
+def test_synthetic_images():
+    synth = ds.synthetic_images("synth-0")
+    assert synth.size_mb == pytest.approx(units.tb(1.3))
+    # ~110 KB items, like ImageNet.
+    assert synth.item_size_mb == pytest.approx(0.110, rel=0.01)
+
+
+def test_table1_growth_rows():
+    rows = ds.table1_rows()
+    assert len(rows) == 5
+    by_task = {r["task"]: r for r in rows}
+    assert by_task["task-1"]["year_2020_tb"] == pytest.approx(25.0)
+    assert by_task["task-1"]["in_24_months_tb"] == pytest.approx(100.0)
+    # Every surveyed task grows; task-5 grows the most (~267x).
+    assert all(r["growth_factor"] > 1 for r in rows)
+    assert by_task["task-5"]["growth_factor"] == pytest.approx(266.7, rel=0.01)

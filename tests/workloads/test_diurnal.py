@@ -1,0 +1,50 @@
+"""Diurnal arrival modulation in the trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import TraceConfig, generate_trace
+
+
+def arrivals(amplitude, num_jobs=2000, seed=3):
+    cfg = TraceConfig(
+        num_jobs=num_jobs,
+        seed=seed,
+        mean_interarrival_s=120.0,
+        diurnal_amplitude=amplitude,
+    )
+    return np.array([j.submit_time_s for j in generate_trace(cfg)])
+
+
+def test_zero_amplitude_is_plain_poisson():
+    flat = arrivals(0.0)
+    gaps = np.diff(flat)
+    # Exponential gaps: mean ~ 120, CV ~ 1.
+    assert np.mean(gaps) == pytest.approx(120.0, rel=0.1)
+    assert np.std(gaps) / np.mean(gaps) == pytest.approx(1.0, abs=0.15)
+
+
+def test_diurnal_concentrates_arrivals_in_peak_hours():
+    times = arrivals(0.8)
+    period = 24 * 3600.0
+    phase = (times % period) / period
+    # The sinusoid peaks in the first half-period (sin > 0): a strong
+    # majority of arrivals land there.
+    peak_fraction = float(np.mean(phase < 0.5))
+    assert peak_fraction > 0.6
+    flat_fraction = float(
+        np.mean((arrivals(0.0) % period) / period < 0.5)
+    )
+    assert peak_fraction > flat_fraction + 0.05
+
+
+def test_amplitude_validation():
+    with pytest.raises(ValueError):
+        generate_trace(TraceConfig(num_jobs=1, diurnal_amplitude=1.5))
+
+
+def test_diurnal_preserves_mean_rate_roughly():
+    flat = arrivals(0.0)[-1]
+    wavy = arrivals(0.8)[-1]
+    # Thinning by a zero-mean sinusoid keeps the long-run horizon close.
+    assert wavy == pytest.approx(flat, rel=0.35)

@@ -1,0 +1,92 @@
+"""Model zoo and Figure 6's cache-efficiency spectrum."""
+
+import pytest
+
+from repro.workloads import datasets as ds
+from repro.workloads.models import (
+    FIGURE6_JOBS,
+    MODEL_ZOO,
+    cache_efficiency_mbps_per_gb,
+    figure6_series,
+    make_job,
+)
+
+
+def test_profiled_io_demands_match_figure6_caption():
+    assert MODEL_ZOO["resnet50"].io_demand_v100_mbps == 114.0
+    assert MODEL_ZOO["resnet152"].io_demand_v100_mbps == 43.0
+    assert MODEL_ZOO["efficientnet-b1"].io_demand_v100_mbps == 69.0
+    assert MODEL_ZOO["vlad"].io_demand_v100_mbps == 10.0
+    assert MODEL_ZOO["bert"].io_demand_v100_mbps == 2.0
+
+
+def test_figure6_has_eleven_jobs_with_papers_extremes():
+    assert len(FIGURE6_JOBS) == 11
+    rows = figure6_series()
+    best, worst = rows[0], rows[-1]
+    assert best["model"] == "resnet50"
+    assert best["dataset"] == "imagenet-1k"
+    assert best["cache_efficiency_mbps_per_gb"] == pytest.approx(0.80, abs=0.01)
+    assert worst["model"] == "bert"
+    assert worst["cache_efficiency_mbps_per_gb"] == pytest.approx(
+        9.5e-5, rel=0.05
+    )
+    # The paper's ~8000x spread between the extremes.
+    spread = (
+        best["cache_efficiency_mbps_per_gb"]
+        / worst["cache_efficiency_mbps_per_gb"]
+    )
+    assert spread > 8000
+
+
+def test_figure6_series_is_sorted_descending():
+    values = [r["cache_efficiency_mbps_per_gb"] for r in figure6_series()]
+    assert values == sorted(values, reverse=True)
+
+
+def test_cache_efficiency_figure6_middle_entries():
+    # ResNet-50 on OpenImages: 114 / 660 GB ~ 0.17.
+    assert cache_efficiency_mbps_per_gb("resnet50", ds.OPEN_IMAGES) == (
+        pytest.approx(0.17, abs=0.01)
+    )
+    # EfficientNetB1 on ImageNet-1k: 69 / 143 ~ 0.48.
+    assert cache_efficiency_mbps_per_gb(
+        "efficientnet-b1", ds.IMAGENET_1K
+    ) == pytest.approx(0.48, abs=0.01)
+
+
+def test_make_job_by_epochs():
+    job = make_job("j", "resnet50", ds.IMAGENET_1K, num_epochs=13)
+    assert job.total_work_mb == pytest.approx(13 * ds.IMAGENET_1K.size_mb)
+    assert job.ideal_throughput_mbps == 114.0
+
+
+def test_make_job_by_duration_follows_paper_recipe():
+    # §7: steps = V100 throughput x sampled duration.
+    job = make_job(
+        "j", "resnet50", ds.IMAGENET_1K, duration_at_ideal_s=3600.0
+    )
+    assert job.total_work_mb == pytest.approx(114.0 * 3600.0)
+    assert job.ideal_duration_s == pytest.approx(3600.0)
+
+
+def test_make_job_scales_with_gpus_and_generation():
+    job = make_job(
+        "j", "resnet50", ds.IMAGENET_1K, num_gpus=8, num_epochs=1
+    )
+    assert job.ideal_throughput_mbps == pytest.approx(8 * 114.0)
+    scaled = make_job(
+        "j2", "resnet50", ds.IMAGENET_1K, num_gpus=1, num_epochs=1,
+        gpu_scale=4.0,
+    )
+    assert scaled.ideal_throughput_mbps == pytest.approx(4 * 114.0)
+
+
+def test_make_job_requires_exactly_one_work_spec():
+    with pytest.raises(ValueError):
+        make_job("j", "resnet50", ds.IMAGENET_1K)
+    with pytest.raises(ValueError):
+        make_job(
+            "j", "resnet50", ds.IMAGENET_1K,
+            num_epochs=1, duration_at_ideal_s=60.0,
+        )

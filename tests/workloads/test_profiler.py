@@ -1,0 +1,58 @@
+"""Offline job profiling."""
+
+import pytest
+
+from repro.cluster.dataset import Dataset
+from repro.workloads.models import make_job
+from repro.workloads.profiler import profile_job, profile_jobs, scaling_table
+
+GB = 1024.0
+
+
+def small_dataset(name="prof-ds", size_gb=20.0):
+    return Dataset(name, size_gb * GB)
+
+
+def test_profile_recovers_declared_f_star():
+    job = make_job("p1", "resnet50", small_dataset(), num_epochs=2)
+    result = profile_job(job, item_size_mb=256.0)
+    assert result.measured_f_star_mbps == pytest.approx(114.0, rel=0.05)
+    assert result.error < 0.05
+
+
+def test_profile_multi_gpu_job():
+    job = make_job(
+        "p8", "resnet50", small_dataset("prof-8"), num_gpus=8, num_epochs=1
+    )
+    result = profile_job(job, item_size_mb=256.0)
+    # Table 2's near-linear scaling: ~8x the single-GPU rate.
+    assert result.measured_f_star_mbps == pytest.approx(8 * 114.0, rel=0.05)
+
+
+def test_profile_jobs_batch():
+    jobs = [
+        make_job("a", "resnet50", small_dataset("prof-a"), num_epochs=1),
+        make_job("b", "bert", small_dataset("prof-b"), num_epochs=1),
+    ]
+    results = profile_jobs(jobs, item_size_mb=256.0)
+    assert [r.job_id for r in results] == ["a", "b"]
+    assert results[1].measured_f_star_mbps == pytest.approx(2.0, rel=0.1)
+
+
+def test_scaling_table():
+    table = scaling_table(
+        "efficientnet-b1",
+        small_dataset("prof-scale"),
+        gpu_counts=[1, 4],
+        make_job_fn=lambda job_id, model, ds, num_gpus: make_job(
+            job_id, model, ds, num_gpus=num_gpus, num_epochs=1
+        ),
+        item_size_mb=256.0,
+    )
+    assert table[4] == pytest.approx(4 * table[1], rel=0.1)
+
+
+def test_profile_validation():
+    job = make_job("v", "resnet50", small_dataset("prof-v"), num_epochs=1)
+    with pytest.raises(ValueError):
+        profile_job(job, profile_epochs=0.0)

@@ -1,0 +1,77 @@
+"""Trace serialization and statistics."""
+
+import json
+
+import pytest
+
+from repro.workloads.trace import TraceConfig, generate_trace
+from repro.workloads.trace_io import (
+    job_from_dict,
+    job_to_dict,
+    load_trace,
+    save_trace,
+    trace_summary,
+)
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    jobs = generate_trace(TraceConfig(num_jobs=40, seed=5))
+    path = tmp_path / "trace.jsonl"
+    save_trace(jobs, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(jobs)
+    for original, restored in zip(jobs, loaded):
+        assert restored.job_id == original.job_id
+        assert restored.model == original.model
+        assert restored.dataset.name == original.dataset.name
+        assert restored.dataset.size_mb == original.dataset.size_mb
+        assert restored.num_gpus == original.num_gpus
+        assert restored.total_work_mb == original.total_work_mb
+        assert restored.submit_time_s == original.submit_time_s
+        assert restored.regular == original.regular
+
+
+def test_shared_datasets_share_instances(tmp_path):
+    jobs = generate_trace(
+        TraceConfig(num_jobs=30, seed=5, shared_dataset_fraction=1.0)
+    )
+    path = tmp_path / "trace.jsonl"
+    save_trace(jobs, path)
+    loaded = load_trace(path)
+    by_name = {}
+    for job in loaded:
+        by_name.setdefault(job.dataset.name, job.dataset)
+        # Same name -> identical object (cache-sharing semantics).
+        assert job.dataset is by_name[job.dataset.name]
+
+
+def test_rejects_bad_versions_and_bad_json(tmp_path):
+    data = job_to_dict(generate_trace(TraceConfig(num_jobs=1, seed=1))[0])
+    data["v"] = 99
+    with pytest.raises(ValueError):
+        job_from_dict(data, {})
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{not json}\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_blank_lines_are_skipped(tmp_path):
+    jobs = generate_trace(TraceConfig(num_jobs=3, seed=2))
+    path = tmp_path / "trace.jsonl"
+    lines = [json.dumps(job_to_dict(j)) for j in jobs]
+    path.write_text("\n".join([lines[0], "", lines[1], lines[2], ""]))
+    assert len(load_trace(path)) == 3
+
+
+def test_trace_summary():
+    jobs = generate_trace(
+        TraceConfig(num_jobs=100, seed=9, shared_dataset_fraction=0.5)
+    )
+    summary = trace_summary(jobs)
+    assert summary["num_jobs"] == 100
+    assert 0 < summary["num_datasets"] < 100
+    assert summary["sharing_fraction"] > 0
+    assert summary["median_ideal_duration_min"] > 0
+    assert abs(sum(summary["gpu_mix"].values()) - 1.0) < 1e-9
+    assert trace_summary([]) == {"num_jobs": 0}
