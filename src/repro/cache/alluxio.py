@@ -21,6 +21,7 @@ from repro.cache.base import (
     StorageContext,
     StorageDecision,
     desired_rate,
+    trace_io_grants,
 )
 from repro.cache.lru import lru_epoch_hit_ratio, shared_lru_shares
 from repro.core.policies import io_share
@@ -93,6 +94,7 @@ class AlluxioCache(CacheSystem):
                 job.dataset.size_mb,
                 targets.get(key, 0.0) + shares[job.job_id],
             )
+        trace_io_grants(ctx, hit_ratios, grants)
         return StorageDecision(
             cache_targets=targets, hit_ratios=hit_ratios, io_grants=grants
         )

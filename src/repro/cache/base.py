@@ -29,6 +29,7 @@ from repro.cluster.job import Job
 from repro.core.estimator import SiloDPerfEstimator
 from repro.core.policies import io_share
 from repro.core.resources import Allocation
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclasses.dataclass
@@ -54,6 +55,10 @@ class StorageContext:
     #: Jobs admitted to the cluster but not currently holding GPUs;
     #: prefetching extensions warm their datasets with spare resources.
     queued_jobs: Sequence[Job] = ()
+    #: Observability sink (``repro.obs``); cache systems emit one
+    #: ``io_throttle`` event per running job through it (see
+    #: :func:`trace_io_grants`). Defaults to the free no-op tracer.
+    tracer: Tracer = NULL_TRACER
 
 
 @dataclasses.dataclass
@@ -122,3 +127,33 @@ def fair_share_io(
         rate = desired_rate(job, ctx)
         demands[job.job_id] = rate * (1.0 - hit_ratios.get(job.job_id, 0.0))
     return io_share.max_min_waterfill(demands, ctx.total_io_mbps)
+
+
+def trace_io_grants(
+    ctx: StorageContext,
+    hit_ratios: Dict[str, float],
+    io_grants: Dict[str, float],
+) -> None:
+    """Emit one ``io_throttle`` event per running job for this round.
+
+    Every cache system calls this right before returning its
+    :class:`StorageDecision`, so the event log carries, per decision
+    round and per job: the compute-bound rate, the modelled hit ratio,
+    the induced remote-IO demand, and the grant that throttles it. The
+    ``report`` CLI reconstructs the Figure 9/11 throughput timeline
+    from exactly these events. Free when tracing is off.
+    """
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return
+    for job in ctx.running_jobs:
+        desired = desired_rate(job, ctx)
+        hit = min(1.0, max(0.0, hit_ratios.get(job.job_id, 0.0)))
+        tracer.io_throttle(
+            ctx.clock_s,
+            job.job_id,
+            desired_mbps=desired,
+            hit_ratio=hit,
+            demand_mbps=desired * (1.0 - hit),
+            grant_mbps=io_grants.get(job.job_id, 0.0),
+        )

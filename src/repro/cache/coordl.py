@@ -21,6 +21,7 @@ from repro.cache.base import (
     StorageContext,
     StorageDecision,
     fair_share_io,
+    trace_io_grants,
 )
 from repro.cluster.hardware import LOCAL_CACHE_MB_PER_V100
 
@@ -67,6 +68,7 @@ class CoorDLCache(CacheSystem):
                 1.0, ctx.effective_mb(job) / job.dataset.size_mb
             )
         io_grants = fair_share_io(ctx, hit_ratios)
+        trace_io_grants(ctx, hit_ratios, io_grants)
         return StorageDecision(
             cache_targets=targets, hit_ratios=hit_ratios, io_grants=io_grants
         )

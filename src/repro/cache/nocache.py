@@ -12,6 +12,7 @@ from repro.cache.base import (
     StorageContext,
     StorageDecision,
     fair_share_io,
+    trace_io_grants,
 )
 
 
@@ -26,6 +27,7 @@ class NoCache(CacheSystem):
             return StorageDecision({}, {}, {})
         hit_ratios = {job.job_id: 0.0 for job in jobs}
         io_grants = fair_share_io(ctx, hit_ratios)
+        trace_io_grants(ctx, hit_ratios, io_grants)
         return StorageDecision(
             cache_targets={}, hit_ratios=hit_ratios, io_grants=io_grants
         )

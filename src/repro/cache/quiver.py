@@ -32,6 +32,7 @@ from repro.cache.base import (
     StorageDecision,
     desired_rate,
     fair_share_io,
+    trace_io_grants,
 )
 
 
@@ -146,6 +147,7 @@ class QuiverCache(CacheSystem):
             for job in jobs
         }
         io_grants = fair_share_io(ctx, hit_ratios)
+        trace_io_grants(ctx, hit_ratios, io_grants)
         return StorageDecision(
             cache_targets=targets, hit_ratios=hit_ratios, io_grants=io_grants
         )

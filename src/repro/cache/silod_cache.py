@@ -25,6 +25,7 @@ from repro.cache.base import (
     StorageContext,
     StorageDecision,
     desired_rate,
+    trace_io_grants,
 )
 from repro.core.policies import io_share
 
@@ -87,6 +88,7 @@ class SiloDDataManager(CacheSystem):
             io_grants = io_share.max_min_waterfill(
                 demands, ctx.total_io_mbps
             )
+            trace_io_grants(ctx, hit_ratios, io_grants)
             return StorageDecision(
                 cache_targets=targets,
                 hit_ratios=hit_ratios,
@@ -105,6 +107,7 @@ class SiloDDataManager(CacheSystem):
             )
             for job in jobs
         }
+        trace_io_grants(ctx, hit_ratios, io_grants)
         return StorageDecision(
             cache_targets=targets, hit_ratios=hit_ratios, io_grants=io_grants
         )

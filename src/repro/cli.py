@@ -1,14 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the end-to-end workflow:
+Five subcommands cover the end-to-end workflow:
 
 * ``trace``     — generate a synthetic trace (JSON Lines) and print its
   summary statistics;
 * ``run``       — simulate one (policy, cache) configuration over a trace
-  and print JCT / makespan / fairness;
+  and print JCT / makespan / fairness (``--events`` captures a structured
+  event log for later analysis);
 * ``matrix``    — the Figure 12-style grid over policies x caches;
 * ``estimate``  — evaluate the closed-form SiloDPerf model for a single
-  allocation (a calculator for Eq 4 / Eq 5).
+  allocation (a calculator for Eq 4 / Eq 5);
+* ``report``    — render timeline / scheduler-audit / cache tables from
+  an event log written by ``run --events``.
+
+See ``docs/CLI.md`` for worked invocations and ``docs/OBSERVABILITY.md``
+for the event schema.
 """
 
 from __future__ import annotations
@@ -21,6 +27,14 @@ from repro import units
 from repro.analysis.tables import render_table
 from repro.cluster.hardware import Cluster
 from repro.core import perf_model
+from repro.obs import (
+    Tracer,
+    load_events,
+    render_report,
+    save_chrome_trace,
+    save_events,
+    save_timeline_csv,
+)
 from repro.sim.runner import CACHES, POLICIES, run_experiment, run_matrix
 from repro.workloads.trace import (
     TraceConfig,
@@ -35,19 +49,22 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
         "--gpus", type=int, default=100, help="total GPUs (default 100)"
     )
     parser.add_argument(
-        "--gpus-per-server", type=int, default=4, help="GPUs per server"
+        "--gpus-per-server",
+        type=int,
+        default=4,
+        help="GPUs per server (default 4)",
     )
     parser.add_argument(
         "--cache-per-gpu-gb",
         type=float,
         default=368.0,
-        help="local cache per GPU in GB (default: Azure V100's 368)",
+        help="local cache per GPU in GB (default 368, Azure V100)",
     )
     parser.add_argument(
         "--egress-gbps",
         type=float,
         default=8.0,
-        help="remote-IO egress limit in Gbps",
+        help="remote-IO egress limit in Gbps (default 8.0)",
     )
 
 
@@ -83,14 +100,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     cluster = _build_cluster(args)
     jobs = load_trace(args.trace)
+    tracing = bool(args.events or args.chrome_trace)
+    tracer = Tracer() if tracing else None
+    sim_kwargs = {"tracer": tracer}
+    if args.simulator == "fluid":
+        # The minibatch emulator reschedules every decision interval and
+        # takes no reschedule knob.
+        sim_kwargs["reschedule_interval_s"] = args.reschedule_s
     result = run_experiment(
         cluster,
         args.policy,
         args.cache,
         jobs,
         simulator=args.simulator,
-        reschedule_interval_s=args.reschedule_s,
+        **sim_kwargs,
     )
+    if tracer is not None:
+        if args.events:
+            save_events(tracer.events, args.events)
+            print(f"events: {len(tracer.events)} -> {args.events}")
+        if args.chrome_trace:
+            save_chrome_trace(tracer.events, args.chrome_trace)
+            print(f"chrome trace -> {args.chrome_trace}")
     rows = [
         {
             "metric": "average JCT (min)",
@@ -170,6 +201,18 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    events = load_events(args.events)
+    print(render_report(events, bins=args.bins))
+    if args.chrome_trace:
+        save_chrome_trace(events, args.chrome_trace)
+        print(f"chrome trace -> {args.chrome_trace}")
+    if args.csv:
+        save_timeline_csv(events, args.csv, bins=args.bins)
+        print(f"timeline CSV -> {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -180,39 +223,141 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser("trace", help="generate a synthetic trace")
     p_trace.add_argument("output", help="output JSONL path")
-    p_trace.add_argument("--jobs", type=int, default=300)
-    p_trace.add_argument("--seed", type=int, default=42)
-    p_trace.add_argument("--gpus", type=int, default=100)
-    p_trace.add_argument("--load", type=float, default=1.5)
-    p_trace.add_argument("--duration-median-min", type=float, default=360.0)
-    p_trace.add_argument("--sharing", type=float, default=0.0)
+    p_trace.add_argument(
+        "--jobs", type=int, default=300, help="number of jobs (default 300)"
+    )
+    p_trace.add_argument(
+        "--seed", type=int, default=42, help="RNG seed (default 42)"
+    )
+    p_trace.add_argument(
+        "--gpus",
+        type=int,
+        default=100,
+        help="cluster size the load targets (default 100)",
+    )
+    p_trace.add_argument(
+        "--load",
+        type=float,
+        default=1.5,
+        help="target cluster load factor (default 1.5)",
+    )
+    p_trace.add_argument(
+        "--duration-median-min",
+        type=float,
+        default=360.0,
+        help="median job duration in minutes (default 360)",
+    )
+    p_trace.add_argument(
+        "--sharing",
+        type=float,
+        default=0.0,
+        help="fraction of jobs sharing pooled datasets (default 0.0)",
+    )
     p_trace.set_defaults(func=_cmd_trace)
 
     p_run = sub.add_parser("run", help="simulate one configuration")
     p_run.add_argument("trace", help="trace JSONL path")
-    p_run.add_argument("--policy", default="fifo")
-    p_run.add_argument("--cache", default="silod")
+    p_run.add_argument(
+        "--policy",
+        default="fifo",
+        help=f"scheduling policy (default fifo; one of {', '.join(POLICIES)})",
+    )
+    p_run.add_argument(
+        "--cache",
+        default="silod",
+        help=f"cache system (default silod; one of {', '.join(CACHES)})",
+    )
     p_run.add_argument("--simulator", default="fluid",
-                       choices=["fluid", "minibatch"])
-    p_run.add_argument("--reschedule-s", type=float, default=1800.0)
+                       choices=["fluid", "minibatch"],
+                       help="simulator backend (default fluid)")
+    p_run.add_argument(
+        "--reschedule-s",
+        type=float,
+        default=1800.0,
+        help="scheduling interval in seconds (default 1800; fluid only — "
+        "the minibatch emulator reschedules every decision interval)",
+    )
+    p_run.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="write a structured event log (JSONL) for `repro report`",
+    )
+    p_run.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON (open in Perfetto)",
+    )
     _add_cluster_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_matrix = sub.add_parser("matrix", help="run a policy x cache grid")
     p_matrix.add_argument("trace", help="trace JSONL path")
-    p_matrix.add_argument("--policies", nargs="+", default=list(POLICIES))
-    p_matrix.add_argument("--caches", nargs="+", default=list(CACHES))
-    p_matrix.add_argument("--reschedule-s", type=float, default=1800.0)
+    p_matrix.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(POLICIES),
+        help=f"policies to sweep (default: {' '.join(POLICIES)})",
+    )
+    p_matrix.add_argument(
+        "--caches",
+        nargs="+",
+        default=list(CACHES),
+        help=f"cache systems to sweep (default: {' '.join(CACHES)})",
+    )
+    p_matrix.add_argument(
+        "--reschedule-s",
+        type=float,
+        default=1800.0,
+        help="scheduling interval in seconds (default 1800)",
+    )
     _add_cluster_args(p_matrix)
     p_matrix.set_defaults(func=_cmd_matrix)
 
     p_est = sub.add_parser("estimate", help="evaluate SiloDPerf (Eq 4)")
     p_est.add_argument("--f-star", type=float, required=True,
                        help="compute-bound throughput, MB/s")
-    p_est.add_argument("--dataset-gb", type=float, required=True)
-    p_est.add_argument("--cache-gb", type=float, default=0.0)
-    p_est.add_argument("--io-mbps", type=float, default=0.0)
+    p_est.add_argument(
+        "--dataset-gb", type=float, required=True, help="dataset size in GB"
+    )
+    p_est.add_argument(
+        "--cache-gb",
+        type=float,
+        default=0.0,
+        help="cache allocation in GB (default 0)",
+    )
+    p_est.add_argument(
+        "--io-mbps",
+        type=float,
+        default=0.0,
+        help="remote-IO allocation in MB/s (default 0)",
+    )
     p_est.set_defaults(func=_cmd_estimate)
+
+    p_report = sub.add_parser(
+        "report", help="summarize an event log from `run --events`"
+    )
+    p_report.add_argument("events", help="event-log JSONL path")
+    p_report.add_argument(
+        "--bins",
+        type=int,
+        default=24,
+        help="time bins in the throughput timeline (default 24)",
+    )
+    p_report.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="also convert the log to Chrome trace_event JSON",
+    )
+    p_report.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="also write the binned timeline as CSV",
+    )
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -28,6 +28,7 @@ from repro.core.estimator import SiloDPerfEstimator
 from repro.core.policies import io_share
 from repro.core.policies.greedy import greedy_cache_allocation
 from repro.core.resources import Allocation, ResourceVector
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclasses.dataclass
@@ -48,6 +49,9 @@ class ScheduleContext:
     #: policies prioritise the least-attained job). ``None`` when the
     #: caller does not track progress; LAS then falls back to zero.
     attained_service_s: Optional[Callable[[Job], float]] = None
+    #: Observability sink (``repro.obs``): policies may bump counters or
+    #: emit events through it; defaults to the free no-op tracer.
+    tracer: Tracer = NULL_TRACER
 
     def effective_hits_mb(self, job: Job, allocated_cache_mb: float) -> float:
         """Bytes of cache a job can hit *right now* under an allocation."""
@@ -148,6 +152,11 @@ def allocate_storage_greedily(
     ).items():
         allocation.grant_cache(name, cache_mb)
     demands = instantaneous_io_demands(running_jobs, allocation, ctx)
+    if ctx.tracer.enabled:
+        ctx.tracer.metrics.inc("policy.storage_rounds")
+        ctx.tracer.metrics.set_gauge(
+            "policy.last_io_demand_mbps", sum(demands.values())
+        )
     if io_priority_order is not None:
         grants = io_share.priority_fill(
             io_priority_order, demands, total.remote_io_mbps

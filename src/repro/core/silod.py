@@ -14,12 +14,14 @@ performance estimator and adds the two framework-level behaviours:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.job import Job
 from repro.core.estimator import SiloDPerfEstimator
 from repro.core.policies.base import ScheduleContext, SchedulingPolicy
 from repro.core.resources import Allocation, ResourceVector
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class SiloDScheduler:
@@ -36,6 +38,11 @@ class SiloDScheduler:
         Set False to reproduce the *vanilla* (decoupled) configuration the
         paper compares against: the policy then allocates GPUs only and an
         external cache subsystem manages storage.
+    tracer:
+        Structured-event sink (``repro.obs``); every call to
+        :meth:`schedule` emits one ``sched_decision`` event with the
+        policy name, job counts, grant aggregates, and wall-clock
+        decision latency. Defaults to the free no-op tracer.
     """
 
     def __init__(
@@ -43,10 +50,12 @@ class SiloDScheduler:
         policy: SchedulingPolicy,
         estimator: SiloDPerfEstimator = None,
         storage_aware: bool = True,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.policy = policy
         self.estimator = estimator or SiloDPerfEstimator()
         self.storage_aware = storage_aware
+        self.tracer = tracer
 
     def schedule(
         self,
@@ -64,10 +73,12 @@ class SiloDScheduler:
         (Tiresias-style LAS). Omit both for one-shot steady-state
         allocations.
         """
+        tracer = self.tracer
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         regular = [j for j in jobs if j.regular]
         irregular = [j for j in jobs if not j.regular]
         if not self.storage_aware or not irregular:
-            return self._schedule_pool(
+            allocation = self._schedule_pool(
                 list(jobs),
                 total,
                 now_s,
@@ -75,14 +86,30 @@ class SiloDScheduler:
                 effective_cache_mb,
                 attained_service_s,
             )
-        return self._schedule_partitioned(
-            regular,
-            irregular,
-            total,
-            now_s,
-            effective_cache_mb,
-            attained_service_s,
-        )
+        else:
+            allocation = self._schedule_partitioned(
+                regular,
+                irregular,
+                total,
+                now_s,
+                effective_cache_mb,
+                attained_service_s,
+            )
+        if tracer.enabled:
+            tracer.sched_decision(
+                now_s,
+                policy=self.policy.name,
+                storage_aware=self.storage_aware,
+                num_jobs=len(jobs),
+                num_running=sum(
+                    1 for g in allocation.gpus.values() if g > 0
+                ),
+                gpus_granted=sum(allocation.gpus.values()),
+                cache_granted_mb=sum(allocation.cache.values()),
+                io_granted_mbps=sum(allocation.remote_io.values()),
+                latency_ms=(time.perf_counter() - t0) * 1000.0,
+            )
+        return allocation
 
     # ------------------------------------------------------------------
 
@@ -101,6 +128,7 @@ class SiloDScheduler:
             now_s=now_s,
             effective_cache_mb=effective_cache_mb,
             attained_service_s=attained_service_s,
+            tracer=self.tracer,
         )
         return self.policy.schedule(jobs, total, ctx)
 

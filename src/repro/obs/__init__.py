@@ -1,0 +1,54 @@
+"""repro.obs — structured observability for both simulators.
+
+The observability layer has four pieces (see ``docs/OBSERVABILITY.md``
+for the full event schema and worked examples):
+
+* :mod:`repro.obs.events` — the typed event schema (``job_submit`` ...
+  ``io_throttle``) both simulators, the scheduler, and the cache
+  systems emit against;
+* :mod:`repro.obs.tracer` — :class:`Tracer` (records events + metrics)
+  and the free :data:`NULL_TRACER` default;
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry` counters/gauges
+  with cluster-wide and per-job scopes;
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSONL / CSV /
+  Chrome ``trace_event`` exporters and the ``python -m repro report``
+  renderer.
+"""
+
+from repro.obs.events import (
+    EVENT_FIELDS,
+    EVENT_TYPES,
+    LIFECYCLE_TYPES,
+    Event,
+    validate_event,
+)
+from repro.obs.export import (
+    chrome_trace,
+    load_events,
+    save_chrome_trace,
+    save_events,
+    save_events_csv,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import render_report, save_timeline_csv, timeline_rows
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Event",
+    "EVENT_TYPES",
+    "EVENT_FIELDS",
+    "LIFECYCLE_TYPES",
+    "validate_event",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "save_events",
+    "load_events",
+    "save_events_csv",
+    "chrome_trace",
+    "save_chrome_trace",
+    "render_report",
+    "timeline_rows",
+    "save_timeline_csv",
+]

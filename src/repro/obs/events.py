@@ -1,0 +1,157 @@
+"""The structured event schema shared by both simulators.
+
+Every observable state change in a run is one :class:`Event`: a typed,
+timestamped record with a fixed per-type field set. The schema is the
+contract between the emitting sites (simulators, scheduler, cache
+systems) and every consumer (exporters, the ``report`` CLI, future
+fidelity tooling) — it is documented field-by-field in
+``docs/OBSERVABILITY.md`` and the two are kept in lockstep by
+``tools/check_obs_docs.py`` (run as a tier-1 test).
+
+Event types
+-----------
+``job_submit`` / ``job_start`` / ``job_finish``
+    The job lifecycle. Both simulators emit these in the same order for
+    the same trace, which makes the lifecycle subsequence the anchor for
+    fluid-vs-minibatch fidelity localisation.
+``sched_decision``
+    One scheduling round (Algorithm 1): policy, job counts, aggregate
+    grants, and wall-clock decision latency.
+``alloc_change``
+    A job's GPU grant changed between consecutive rounds.
+``cache_admit`` / ``cache_evict``
+    Resident bytes of a cache key grew / shrank.
+``promote_effective``
+    A job's resident bytes became *effective* — at a job start (sharing
+    pays off immediately) or an epoch boundary (§6 delayed
+    effectiveness; see ``docs/MODEL.md`` §"Delayed effectiveness").
+``epoch_boundary``
+    A job completed an epoch (not emitted for the final epoch, which
+    coincides with ``job_finish``).
+``io_throttle``
+    A job's remote-IO grant for the coming round, alongside the
+    instantaneous demand it throttles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+JOB_SUBMIT = "job_submit"
+JOB_START = "job_start"
+JOB_FINISH = "job_finish"
+SCHED_DECISION = "sched_decision"
+CACHE_ADMIT = "cache_admit"
+CACHE_EVICT = "cache_evict"
+PROMOTE_EFFECTIVE = "promote_effective"
+IO_THROTTLE = "io_throttle"
+EPOCH_BOUNDARY = "epoch_boundary"
+ALLOC_CHANGE = "alloc_change"
+
+#: Every event type, in documentation order.
+EVENT_TYPES = (
+    JOB_SUBMIT,
+    JOB_START,
+    JOB_FINISH,
+    SCHED_DECISION,
+    ALLOC_CHANGE,
+    CACHE_ADMIT,
+    CACHE_EVICT,
+    PROMOTE_EFFECTIVE,
+    EPOCH_BOUNDARY,
+    IO_THROTTLE,
+)
+
+#: The job-lifecycle subset both simulators must emit identically.
+LIFECYCLE_TYPES = (JOB_SUBMIT, JOB_START, JOB_FINISH)
+
+#: Field names each event type carries (beyond ``ts_s``/``etype``/
+#: ``job_id``). The docs-consistency check enforces that the schema
+#: tables in ``docs/OBSERVABILITY.md`` list exactly these.
+EVENT_FIELDS: Dict[str, tuple] = {
+    JOB_SUBMIT: ("model", "dataset", "num_gpus", "dataset_mb", "total_work_mb"),
+    JOB_START: ("gpus", "queue_delay_s"),
+    JOB_FINISH: ("jct_s", "epochs_done"),
+    SCHED_DECISION: (
+        "policy",
+        "storage_aware",
+        "num_jobs",
+        "num_running",
+        "gpus_granted",
+        "cache_granted_mb",
+        "io_granted_mbps",
+        "latency_ms",
+    ),
+    ALLOC_CHANGE: ("gpus_before", "gpus_after"),
+    CACHE_ADMIT: ("key", "delta_mb", "resident_mb", "via"),
+    CACHE_EVICT: ("key", "delta_mb", "resident_mb", "reason"),
+    PROMOTE_EFFECTIVE: ("key", "effective_mb", "reason"),
+    EPOCH_BOUNDARY: ("epoch",),
+    IO_THROTTLE: (
+        "desired_mbps",
+        "hit_ratio",
+        "demand_mbps",
+        "grant_mbps",
+        "capped",
+    ),
+}
+
+
+@dataclasses.dataclass
+class Event:
+    """One structured trace record.
+
+    ``ts_s`` is simulation time (seconds); ``seq`` is the tracer's
+    emission counter, which breaks timestamp ties and gives every run a
+    total event order. ``job_id`` is ``None`` for cluster-scoped events
+    (e.g. a shared cache key's eviction).
+    """
+
+    ts_s: float
+    etype: str
+    job_id: Optional[str] = None
+    fields: Dict[str, object] = dataclasses.field(default_factory=dict)
+    seq: int = 0
+
+    def to_dict(self) -> dict:
+        """A JSON-safe flat representation (used by the JSONL exporter)."""
+        return {
+            "seq": self.seq,
+            "ts_s": self.ts_s,
+            "etype": self.etype,
+            "job_id": self.job_id,
+            **self.fields,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        """Rebuild an event from :meth:`to_dict` output."""
+        fields = {
+            k: v
+            for k, v in data.items()
+            if k not in ("seq", "ts_s", "etype", "job_id")
+        }
+        return cls(
+            ts_s=float(data["ts_s"]),
+            etype=str(data["etype"]),
+            job_id=data.get("job_id"),
+            fields=fields,
+            seq=int(data.get("seq", 0)),
+        )
+
+
+def validate_event(event: Event) -> None:
+    """Raise ``ValueError`` if an event does not match the schema."""
+    expected = EVENT_FIELDS.get(event.etype)
+    if expected is None:
+        raise ValueError(
+            f"unknown event type {event.etype!r}; "
+            f"expected one of {EVENT_TYPES}"
+        )
+    missing = [name for name in expected if name not in event.fields]
+    extra = [name for name in event.fields if name not in expected]
+    if missing or extra:
+        raise ValueError(
+            f"{event.etype}: missing fields {missing}, extra fields {extra}"
+        )

@@ -1,0 +1,103 @@
+"""Counters and gauges with cluster-wide and per-job scopes.
+
+The registry complements the event log: events answer "what happened,
+in what order", the registry answers "how much, in total" without
+replaying anything. A :class:`~repro.obs.tracer.Tracer` owns one and
+bumps per-event-type counters automatically; instrumented layers
+(scheduler, policies, cache systems) add their own domain counters
+(decision rounds, bytes admitted, throttled jobs, ...).
+
+Scopes
+------
+Every metric lives in the *cluster* scope by default; passing
+``job_id`` addresses the per-job scope instead. The two are
+independent — incrementing a job-scoped counter does not touch the
+cluster-scoped counter of the same name, so emitting sites decide
+explicitly what aggregates where.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Internal scope key for cluster-wide metrics.
+_CLUSTER = None
+
+
+class MetricsRegistry:
+    """In-memory counters (monotonic) and gauges (last-value)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[Optional[str], str], float] = {}
+        self._gauges: Dict[Tuple[Optional[str], str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+
+    def inc(
+        self, name: str, value: float = 1.0, job_id: Optional[str] = None
+    ) -> float:
+        """Add ``value`` to a counter; returns the new total."""
+        key = (job_id, name)
+        total = self._counters.get(key, 0.0) + value
+        self._counters[key] = total
+        return total
+
+    def set_gauge(
+        self, name: str, value: float, job_id: Optional[str] = None
+    ) -> None:
+        """Record the latest value of a gauge."""
+        self._gauges[(job_id, name)] = value
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, job_id: Optional[str] = None) -> float:
+        """Current value of a counter (0.0 if never incremented)."""
+        return self._counters.get((job_id, name), 0.0)
+
+    def gauge(
+        self, name: str, job_id: Optional[str] = None
+    ) -> Optional[float]:
+        """Latest value of a gauge, or ``None`` if never set."""
+        return self._gauges.get((job_id, name))
+
+    def job_ids(self) -> list:
+        """Every job id that owns at least one metric, sorted."""
+        ids = {
+            scope
+            for scope, _name in (*self._counters, *self._gauges)
+            if scope is not None
+        }
+        return sorted(ids)
+
+    def snapshot(self) -> dict:
+        """A nested, JSON-safe dump: cluster scope plus one per job."""
+        out: dict = {
+            "cluster": {"counters": {}, "gauges": {}},
+            "jobs": {},
+        }
+
+        def _bucket(scope: Optional[str]) -> dict:
+            if scope is _CLUSTER:
+                return out["cluster"]
+            return out["jobs"].setdefault(
+                scope, {"counters": {}, "gauges": {}}
+            )
+
+        for (scope, name), value in sorted(self._counters.items(),
+                                           key=lambda kv: (kv[0][0] or "",
+                                                           kv[0][1])):
+            _bucket(scope)["counters"][name] = value
+        for (scope, name), value in sorted(self._gauges.items(),
+                                           key=lambda kv: (kv[0][0] or "",
+                                                           kv[0][1])):
+            _bucket(scope)["gauges"][name] = value
+        return out
+
+    def clear(self) -> None:
+        """Drop every metric (used between simulation runs)."""
+        self._counters.clear()
+        self._gauges.clear()

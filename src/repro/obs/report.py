@@ -1,0 +1,292 @@
+"""Render an event log into the paper-style run summaries.
+
+This is the analysis half of the observability layer: given the events
+of one run (typically loaded from the JSONL log), it reconstructs
+
+* the **job lifecycle table** — submit/start/finish, queue delay, JCT,
+  epochs per job;
+* the **throughput timeline** (Figures 9/11's view) — achieved vs
+  compute-bound ("ideal") aggregate throughput and remote-IO usage,
+  binned over the run, derived from the per-round ``io_throttle``
+  events;
+* the **scheduler-decision audit** — rounds, decision latency, grant
+  aggregates and GPU churn per policy, from ``sched_decision`` and
+  ``alloc_change``;
+* the **cache activity table** — admitted/evicted bytes and
+  effectiveness promotions per cache key.
+
+``python -m repro report`` prints all four; each table is also exposed
+as plain rows for programmatic use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.tables import render_table
+from repro.obs import events as ev
+from repro.obs.events import Event
+
+
+def _last_per_round(
+    events: Sequence[Event], etype: str
+) -> Dict[Tuple[float, Optional[str]], Event]:
+    """Latest event per (timestamp, job) — re-decisions override."""
+    latest: Dict[Tuple[float, Optional[str]], Event] = {}
+    for event in events:
+        if event.etype == etype:
+            latest[(event.ts_s, event.job_id)] = event
+    return latest
+
+
+def job_table(events: Sequence[Event]) -> List[dict]:
+    """Per-job lifecycle rows (submit/start/finish/queue delay/JCT)."""
+    jobs: Dict[str, dict] = {}
+    for event in events:
+        if event.etype == ev.JOB_SUBMIT:
+            jobs[event.job_id] = {
+                "job": event.job_id,
+                "model": event.fields.get("model"),
+                "dataset": event.fields.get("dataset"),
+                "gpus": event.fields.get("num_gpus"),
+                "submit_min": event.ts_s / 60.0,
+                "start_min": None,
+                "finish_min": None,
+                "queue_min": None,
+                "jct_min": None,
+                "epochs": 0,
+            }
+        elif event.etype == ev.JOB_START and event.job_id in jobs:
+            row = jobs[event.job_id]
+            row["start_min"] = event.ts_s / 60.0
+            row["queue_min"] = (
+                float(event.fields.get("queue_delay_s", 0.0)) / 60.0
+            )
+        elif event.etype == ev.JOB_FINISH and event.job_id in jobs:
+            row = jobs[event.job_id]
+            row["finish_min"] = event.ts_s / 60.0
+            row["jct_min"] = float(event.fields.get("jct_s", 0.0)) / 60.0
+            row["epochs"] = event.fields.get("epochs_done", 0)
+    return sorted(jobs.values(), key=lambda r: (r["submit_min"], r["job"]))
+
+
+def _round_aggregates(
+    events: Sequence[Event],
+) -> List[Tuple[float, int, float, float, float]]:
+    """Per decision round: (ts, running, achieved, ideal, io) MB/s."""
+    latest = _last_per_round(events, ev.IO_THROTTLE)
+    rounds: Dict[float, List[Event]] = {}
+    for (ts, _job), event in latest.items():
+        rounds.setdefault(ts, []).append(event)
+    out = []
+    for ts in sorted(rounds):
+        achieved = ideal = io_used = 0.0
+        for event in rounds[ts]:
+            desired = float(event.fields.get("desired_mbps", 0.0))
+            hit = float(event.fields.get("hit_ratio", 0.0))
+            demand = float(event.fields.get("demand_mbps", 0.0))
+            grant = float(event.fields.get("grant_mbps", 0.0))
+            miss = 1.0 - hit
+            if miss <= 1e-12:
+                rate = desired
+            else:
+                rate = min(desired, grant / miss)
+            achieved += rate
+            ideal += desired
+            io_used += min(demand, grant)
+        out.append((ts, len(rounds[ts]), achieved, ideal, io_used))
+    return out
+
+
+def timeline_rows(
+    events: Sequence[Event], bins: int = 24
+) -> List[dict]:
+    """The Figure 9/11-style timeline, binned into ``bins`` intervals.
+
+    Each row averages the scheduling rounds falling in its time bin:
+    running jobs, achieved aggregate throughput, the compute-bound
+    ceiling, and remote IO in flight.
+    """
+    rounds = _round_aggregates(events)
+    if not rounds:
+        return []
+    t_end = max(ts for ts, *_ in rounds)
+    span = max(t_end, 1e-9)
+    width = span / bins
+    buckets: Dict[int, List[Tuple[float, int, float, float, float]]] = {}
+    for entry in rounds:
+        idx = min(bins - 1, int(entry[0] / width))
+        buckets.setdefault(idx, []).append(entry)
+    rows = []
+    for idx in sorted(buckets):
+        group = buckets[idx]
+        n = len(group)
+        rows.append(
+            {
+                "t_min": (idx + 0.5) * width / 60.0,
+                "running": sum(g[1] for g in group) / n,
+                "achieved_mbps": sum(g[2] for g in group) / n,
+                "ideal_mbps": sum(g[3] for g in group) / n,
+                "remote_io_mbps": sum(g[4] for g in group) / n,
+            }
+        )
+    return rows
+
+
+def decision_audit(events: Sequence[Event]) -> List[dict]:
+    """Per-policy scheduler audit rows from ``sched_decision`` events."""
+    by_policy: Dict[Tuple[str, bool], List[Event]] = {}
+    for event in events:
+        if event.etype == ev.SCHED_DECISION:
+            key = (
+                str(event.fields.get("policy")),
+                bool(event.fields.get("storage_aware")),
+            )
+            by_policy.setdefault(key, []).append(event)
+    changes = sum(1 for e in events if e.etype == ev.ALLOC_CHANGE)
+    preemptions = sum(
+        1
+        for e in events
+        if e.etype == ev.ALLOC_CHANGE
+        and float(e.fields.get("gpus_after", 0.0)) <= 0.0
+        < float(e.fields.get("gpus_before", 0.0))
+    )
+    rows = []
+    for (policy, storage_aware), group in sorted(by_policy.items()):
+        n = len(group)
+        rows.append(
+            {
+                "policy": policy,
+                "storage_aware": storage_aware,
+                "rounds": n,
+                "mean_latency_ms": sum(
+                    float(e.fields.get("latency_ms", 0.0)) for e in group
+                )
+                / n,
+                "mean_gpus_granted": sum(
+                    float(e.fields.get("gpus_granted", 0.0)) for e in group
+                )
+                / n,
+                "mean_io_mbps": sum(
+                    float(e.fields.get("io_granted_mbps", 0.0))
+                    for e in group
+                )
+                / n,
+                "alloc_changes": changes,
+                "preemptions": preemptions,
+            }
+        )
+    return rows
+
+
+def cache_table(events: Sequence[Event]) -> List[dict]:
+    """Per-cache-key activity rows (admissions, evictions, promotions)."""
+    keys: Dict[str, dict] = {}
+
+    def _row(key: str) -> dict:
+        return keys.setdefault(
+            key,
+            {
+                "key": key,
+                "admitted_mb": 0.0,
+                "evicted_mb": 0.0,
+                "promotions": 0,
+                "last_resident_mb": 0.0,
+                "last_effective_mb": 0.0,
+            },
+        )
+
+    for event in events:
+        if event.etype == ev.CACHE_ADMIT:
+            row = _row(str(event.fields.get("key")))
+            row["admitted_mb"] += float(event.fields.get("delta_mb", 0.0))
+            row["last_resident_mb"] = float(
+                event.fields.get("resident_mb", 0.0)
+            )
+        elif event.etype == ev.CACHE_EVICT:
+            row = _row(str(event.fields.get("key")))
+            row["evicted_mb"] += float(event.fields.get("delta_mb", 0.0))
+            row["last_resident_mb"] = float(
+                event.fields.get("resident_mb", 0.0)
+            )
+        elif event.etype == ev.PROMOTE_EFFECTIVE:
+            row = _row(str(event.fields.get("key")))
+            row["promotions"] += 1
+            row["last_effective_mb"] = float(
+                event.fields.get("effective_mb", 0.0)
+            )
+    return sorted(keys.values(), key=lambda r: r["key"])
+
+
+def summary_rows(events: Sequence[Event]) -> List[dict]:
+    """Run-level aggregates (the ``run`` command's headline numbers)."""
+    jobs = job_table(events)
+    finished = [r for r in jobs if r["jct_min"] is not None]
+    avg_jct = (
+        sum(r["jct_min"] for r in finished) / len(finished)
+        if finished
+        else math.nan
+    )
+    makespan = (
+        max(r["finish_min"] for r in finished)
+        if finished and len(finished) == len(jobs)
+        else math.nan
+    )
+    return [
+        {"metric": "jobs submitted", "value": len(jobs)},
+        {"metric": "jobs finished", "value": len(finished)},
+        {"metric": "average JCT (min)", "value": avg_jct},
+        {"metric": "makespan (min)", "value": makespan},
+        {
+            "metric": "events",
+            "value": len(events),
+        },
+    ]
+
+
+def render_report(events: Sequence[Event], bins: int = 24) -> str:
+    """The full ``python -m repro report`` output for an event log."""
+    sections = [
+        render_table(summary_rows(events), title="run summary"),
+        render_table(
+            job_table(events), title="job lifecycle (times in minutes)"
+        ),
+    ]
+    timeline = timeline_rows(events, bins=bins)
+    if timeline:
+        sections.append(
+            render_table(
+                timeline,
+                title="throughput timeline (Figure 9/11 style, MB/s)",
+            )
+        )
+    audit = decision_audit(events)
+    if audit:
+        sections.append(
+            render_table(audit, title="scheduler decision audit")
+        )
+    caches = cache_table(events)
+    if caches:
+        sections.append(render_table(caches, title="cache activity"))
+    return "\n\n".join(sections)
+
+
+def save_timeline_csv(
+    events: Sequence[Event], path: Union[str, "object"], bins: int = 24
+) -> None:
+    """Write the binned throughput timeline as CSV."""
+    import csv
+
+    rows = timeline_rows(events, bins=bins)
+    columns = [
+        "t_min",
+        "running",
+        "achieved_mbps",
+        "ideal_mbps",
+        "remote_io_mbps",
+    ]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)

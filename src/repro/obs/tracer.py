@@ -1,0 +1,279 @@
+"""The structured event tracer and its free no-op variant.
+
+``Tracer`` records :class:`~repro.obs.events.Event` objects in emission
+order and keeps a :class:`~repro.obs.registry.MetricsRegistry` updated
+alongside. ``NullTracer`` (the module-level ``NULL_TRACER`` singleton)
+is the default everywhere: its ``enabled`` flag is ``False`` and every
+emit is a no-op, so instrumented hot paths guard with one attribute
+check::
+
+    tr = self._tracer
+    if tr.enabled:
+        tr.cache_admit(self.clock_s, key, delta_mb, resident_mb, "miss")
+
+and pay essentially nothing when tracing is off (the <5% ``matrix``
+wall-clock budget in the acceptance criteria).
+
+Typed emit helpers — one per event type — are the only supported way to
+produce events: they pin the field set of each type to the schema in
+:mod:`repro.obs.events`, so the JSONL log stays machine-parseable and
+``docs/OBSERVABILITY.md`` stays truthful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs import events as ev
+from repro.obs.events import Event
+from repro.obs.registry import MetricsRegistry
+
+
+class Tracer:
+    """Recording tracer: appends events, bumps per-type counters."""
+
+    #: Hot paths check this before building event payloads.
+    enabled: bool = True
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.events: List[Event] = []
+        self.metrics = MetricsRegistry()
+        self._seq = 0
+        self._max_events = max_events
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Core emission.
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        ts_s: float,
+        etype: str,
+        job_id: Optional[str] = None,
+        **fields,
+    ) -> None:
+        """Record one event (typed helpers below are preferred)."""
+        self._seq += 1
+        if (
+            self._max_events is not None
+            and len(self.events) >= self._max_events
+        ):
+            self.dropped += 1
+            return
+        self.events.append(
+            Event(
+                ts_s=ts_s,
+                etype=etype,
+                job_id=job_id,
+                fields=fields,
+                seq=self._seq,
+            )
+        )
+        self.metrics.inc("events_total")
+        self.metrics.inc(f"events.{etype}")
+        if job_id is not None:
+            self.metrics.inc(f"events.{etype}", job_id=job_id)
+
+    def clear(self) -> None:
+        """Drop recorded events and metrics (reused between runs)."""
+        self.events.clear()
+        self.metrics.clear()
+        self._seq = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Typed helpers (one per event type in the schema).
+    # ------------------------------------------------------------------
+
+    def job_submit(
+        self,
+        ts_s: float,
+        job_id: str,
+        model: str,
+        dataset: str,
+        num_gpus: int,
+        dataset_mb: float,
+        total_work_mb: float,
+    ) -> None:
+        """A job entered the cluster queue."""
+        self.emit(
+            ts_s,
+            ev.JOB_SUBMIT,
+            job_id,
+            model=model,
+            dataset=dataset,
+            num_gpus=num_gpus,
+            dataset_mb=dataset_mb,
+            total_work_mb=total_work_mb,
+        )
+
+    def job_start(
+        self, ts_s: float, job_id: str, gpus: float, queue_delay_s: float
+    ) -> None:
+        """A job received its first GPU grant."""
+        self.emit(
+            ts_s,
+            ev.JOB_START,
+            job_id,
+            gpus=gpus,
+            queue_delay_s=queue_delay_s,
+        )
+
+    def job_finish(
+        self, ts_s: float, job_id: str, jct_s: float, epochs_done: int
+    ) -> None:
+        """A job consumed its last byte of work."""
+        self.emit(
+            ts_s, ev.JOB_FINISH, job_id, jct_s=jct_s, epochs_done=epochs_done
+        )
+
+    def sched_decision(
+        self,
+        ts_s: float,
+        policy: str,
+        storage_aware: bool,
+        num_jobs: int,
+        num_running: int,
+        gpus_granted: float,
+        cache_granted_mb: float,
+        io_granted_mbps: float,
+        latency_ms: float,
+    ) -> None:
+        """One scheduling round produced a joint allocation."""
+        self.emit(
+            ts_s,
+            ev.SCHED_DECISION,
+            policy=policy,
+            storage_aware=storage_aware,
+            num_jobs=num_jobs,
+            num_running=num_running,
+            gpus_granted=gpus_granted,
+            cache_granted_mb=cache_granted_mb,
+            io_granted_mbps=io_granted_mbps,
+            latency_ms=latency_ms,
+        )
+
+    def alloc_change(
+        self,
+        ts_s: float,
+        job_id: str,
+        gpus_before: float,
+        gpus_after: float,
+    ) -> None:
+        """A job's GPU grant changed between rounds."""
+        self.emit(
+            ts_s,
+            ev.ALLOC_CHANGE,
+            job_id,
+            gpus_before=gpus_before,
+            gpus_after=gpus_after,
+        )
+
+    def cache_admit(
+        self,
+        ts_s: float,
+        key: str,
+        delta_mb: float,
+        resident_mb: float,
+        via: str,
+    ) -> None:
+        """Resident bytes of a cache key grew by ``delta_mb``."""
+        self.emit(
+            ts_s,
+            ev.CACHE_ADMIT,
+            key=key,
+            delta_mb=delta_mb,
+            resident_mb=resident_mb,
+            via=via,
+        )
+        if self.enabled:
+            self.metrics.inc("cache.admitted_mb", delta_mb)
+
+    def cache_evict(
+        self,
+        ts_s: float,
+        key: str,
+        delta_mb: float,
+        resident_mb: float,
+        reason: str,
+    ) -> None:
+        """Resident bytes of a cache key shrank by ``delta_mb``."""
+        self.emit(
+            ts_s,
+            ev.CACHE_EVICT,
+            key=key,
+            delta_mb=delta_mb,
+            resident_mb=resident_mb,
+            reason=reason,
+        )
+        if self.enabled:
+            self.metrics.inc("cache.evicted_mb", delta_mb)
+
+    def promote_effective(
+        self,
+        ts_s: float,
+        job_id: str,
+        key: str,
+        effective_mb: float,
+        reason: str,
+    ) -> None:
+        """A job's resident bytes became usable for hits (§6)."""
+        self.emit(
+            ts_s,
+            ev.PROMOTE_EFFECTIVE,
+            job_id,
+            key=key,
+            effective_mb=effective_mb,
+            reason=reason,
+        )
+
+    def epoch_boundary(self, ts_s: float, job_id: str, epoch: int) -> None:
+        """A job finished (non-final) epoch number ``epoch``."""
+        self.emit(ts_s, ev.EPOCH_BOUNDARY, job_id, epoch=epoch)
+
+    def io_throttle(
+        self,
+        ts_s: float,
+        job_id: str,
+        desired_mbps: float,
+        hit_ratio: float,
+        demand_mbps: float,
+        grant_mbps: float,
+    ) -> None:
+        """A job's remote-IO grant for the coming decision round."""
+        capped = grant_mbps < demand_mbps - 1e-9
+        self.emit(
+            ts_s,
+            ev.IO_THROTTLE,
+            job_id,
+            desired_mbps=desired_mbps,
+            hit_ratio=hit_ratio,
+            demand_mbps=demand_mbps,
+            grant_mbps=grant_mbps,
+            capped=capped,
+        )
+        if capped and self.enabled:
+            self.metrics.inc("io.throttled_rounds", job_id=job_id)
+
+
+class NullTracer(Tracer):
+    """The free default: records nothing, counts nothing."""
+
+    enabled = False
+
+    def emit(
+        self,
+        ts_s: float,
+        etype: str,
+        job_id: Optional[str] = None,
+        **fields,
+    ) -> None:
+        """Discard the event (every typed helper funnels through here)."""
+
+
+#: Shared singleton used as the default tracer everywhere.
+NULL_TRACER = NullTracer()

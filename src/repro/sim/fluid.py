@@ -37,6 +37,7 @@ from repro.cluster.job import Job, JobPhase, JobProgress
 from repro.core.policies.gavel import fairness_ratio
 from repro.core.resources import Allocation, ResourceVector
 from repro.core.silod import SiloDScheduler
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.metrics import JobRecord, RunResult, TimelineSample
 
 #: Work below this many MB counts as "done" (guards float drift).
@@ -85,6 +86,12 @@ class FluidSimulator:
         even striping, ``1/num_servers`` of every dataset's resident and
         effective bytes disappear (a *restart* would lose nothing — the
         content is on disk — so this is the harsher case).
+    tracer:
+        Structured-event sink (``repro.obs``). When given, the simulator
+        emits the full event schema (job lifecycle, epoch boundaries,
+        effectiveness promotions, cache admissions/evictions, allocation
+        changes) and propagates the tracer to the scheduler and cache
+        system. ``None`` (default) keeps the free no-op tracer.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class FluidSimulator:
         max_time_s: Optional[float] = None,
         data_manager_crash_times_s: Sequence[float] = (),
         server_loss_times_s: Sequence[float] = (),
+        tracer: Optional[Tracer] = None,
     ) -> None:
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
@@ -105,6 +113,9 @@ class FluidSimulator:
         self.cluster = cluster
         self.scheduler = scheduler
         self.cache_system = cache_system
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            scheduler.tracer = tracer
         self.total = ResourceVector(
             gpus=cluster.total_gpus,
             cache_mb=cluster.total_cache_mb,
@@ -249,6 +260,7 @@ class FluidSimulator:
             fillers.setdefault(key, []).append(
                 (miss, self._effective.get(job.job_id, 0.0))
             )
+        tracer = self._tracer
         for key, contributions in fillers.items():
             state = self._cache[key]
             cap = min(state.target_mb, state.size_mb)
@@ -263,14 +275,32 @@ class FluidSimulator:
                 filled = state.size_mb - (
                     state.size_mb - state.resident_mb
                 ) * math.exp(-k * dt)
+            before = state.resident_mb
             state.resident_mb = min(cap, filled)
+            if tracer.enabled and state.resident_mb - before > 1e-6:
+                tracer.cache_admit(
+                    t,
+                    key,
+                    delta_mb=state.resident_mb - before,
+                    resident_mb=state.resident_mb,
+                    via="miss",
+                )
         # Hoard-style prefetching: spare egress warms queued datasets.
         for key, rate in self._decision.prefetch_rates.items():
             state = self._cache.get(key)
             if state is None or rate <= 0:
                 continue
             cap = min(state.target_mb, state.size_mb)
+            before = state.resident_mb
             state.resident_mb = min(cap, state.resident_mb + rate * dt)
+            if tracer.enabled and state.resident_mb - before > 1e-6:
+                tracer.cache_admit(
+                    t,
+                    key,
+                    delta_mb=state.resident_mb - before,
+                    resident_mb=state.resident_mb,
+                    via="prefetch",
+                )
         # New admissions may not push the pool past its capacity: data of
         # unallocated (stale) keys is reclaimed to make room, exactly as
         # a real cache evicts unpinned blocks on admission.
@@ -292,6 +322,16 @@ class FluidSimulator:
             self._arrival_idx += 1
             self._active[job.job_id] = JobProgress(job=job)
             self._epochs_done[job.job_id] = 0
+            if self._tracer.enabled:
+                self._tracer.job_submit(
+                    job.submit_time_s,
+                    job.job_id,
+                    model=job.model,
+                    dataset=job.dataset.name,
+                    num_gpus=job.num_gpus,
+                    dataset_mb=job.dataset.size_mb,
+                    total_work_mb=job.total_work_mb,
+                )
             changed = True
         return changed
 
@@ -304,6 +344,16 @@ class FluidSimulator:
                 progress.finish_time_s = self.clock_s
                 self._finished.append(progress)
                 del self._active[job_id]
+                if self._tracer.enabled:
+                    # epoch_index counts completed epochs at this point
+                    # (unlike _epochs_done, which excludes the final
+                    # epoch — its boundary coincides with completion).
+                    self._tracer.job_finish(
+                        self.clock_s,
+                        job_id,
+                        jct_s=self.clock_s - progress.job.submit_time_s,
+                        epochs_done=progress.epoch_index,
+                    )
                 self._effective.pop(job_id, None)
                 self._throughput.pop(job_id, None)
                 self._miss_rate.pop(job_id, None)
@@ -327,7 +377,12 @@ class FluidSimulator:
             n = max(1, len(self.cluster.servers))
             survival = (n - 1) / n
             for key, state in self._cache.items():
-                self._shrink(key, state, state.resident_mb * survival)
+                self._shrink(
+                    key,
+                    state,
+                    state.resident_mb * survival,
+                    reason="server_loss",
+                )
             changed = True
         return changed
 
@@ -347,6 +402,17 @@ class FluidSimulator:
                 self._effective[job.job_id] = min(
                     job.dataset.size_mb, resident
                 )
+                if self._tracer.enabled:
+                    self._tracer.epoch_boundary(
+                        self.clock_s, job.job_id, epoch=epochs_now
+                    )
+                    self._tracer.promote_effective(
+                        self.clock_s,
+                        job.job_id,
+                        key=key,
+                        effective_mb=self._effective[job.job_id],
+                        reason="epoch_boundary",
+                    )
                 flipped = True
         return flipped
 
@@ -356,6 +422,8 @@ class FluidSimulator:
 
     def _reschedule(self) -> None:
         jobs = [p.job for p in self._active.values()]
+        tracer = self._tracer
+        old_gpus = dict(self._allocation.gpus) if tracer.enabled else {}
         self._allocation = self.scheduler.schedule(
             jobs,
             self.total,
@@ -378,6 +446,35 @@ class FluidSimulator:
                     self._effective[job_id] = min(
                         progress.job.dataset.size_mb,
                         state.resident_mb if state else 0.0,
+                    )
+                    if tracer.enabled:
+                        tracer.job_start(
+                            self.clock_s,
+                            job_id,
+                            gpus=self._allocation.gpus_of(job_id),
+                            queue_delay_s=self.clock_s
+                            - progress.job.submit_time_s,
+                        )
+                        tracer.promote_effective(
+                            self.clock_s,
+                            job_id,
+                            key=key,
+                            effective_mb=self._effective[job_id],
+                            reason="job_start",
+                        )
+        if tracer.enabled:
+            seen = set(old_gpus) | set(self._allocation.gpus)
+            for job_id in sorted(seen):
+                if job_id not in self._active:
+                    continue
+                before = old_gpus.get(job_id, 0.0)
+                after = self._allocation.gpus_of(job_id)
+                if abs(before - after) > 1e-9:
+                    tracer.alloc_change(
+                        self.clock_s,
+                        job_id,
+                        gpus_before=before,
+                        gpus_after=after,
                     )
         self._storage_decide()
 
@@ -429,6 +526,7 @@ class FluidSimulator:
             clock_s=self.clock_s,
             scheduler_allocation=self._allocation,
             queued_jobs=queued,
+            tracer=self._tracer,
         )
         self._decision = self.cache_system.decide(ctx)
         self._apply_targets(self._active_jobs())
@@ -481,7 +579,9 @@ class FluidSimulator:
             if slack <= 0:
                 continue
             cut = min(slack, overshoot)
-            self._shrink(key, state, state.resident_mb - cut)
+            self._shrink(
+                key, state, state.resident_mb - cut, reason="reclaim"
+            )
             overshoot -= cut
             if overshoot <= 1e-6:
                 return
@@ -490,14 +590,34 @@ class FluidSimulator:
             if total > 0:
                 factor = self.total.cache_mb / total
                 for key, state in self._cache.items():
-                    self._shrink(key, state, state.resident_mb * factor)
+                    self._shrink(
+                        key,
+                        state,
+                        state.resident_mb * factor,
+                        reason="reclaim",
+                    )
 
-    def _shrink(self, key: str, state: _CacheKeyState, new_mb: float) -> None:
+    def _shrink(
+        self,
+        key: str,
+        state: _CacheKeyState,
+        new_mb: float,
+        reason: str = "target_shrink",
+    ) -> None:
         """Random eviction to ``new_mb``: effectiveness shrinks in ratio."""
         if state.resident_mb <= 0:
             return
         ratio = max(0.0, new_mb) / state.resident_mb
+        before = state.resident_mb
         state.resident_mb = max(0.0, new_mb)
+        if self._tracer.enabled and before - state.resident_mb > 1e-6:
+            self._tracer.cache_evict(
+                self.clock_s,
+                key,
+                delta_mb=before - state.resident_mb,
+                resident_mb=state.resident_mb,
+                reason=reason,
+            )
         for progress in self._active.values():
             job = progress.job
             if self.cache_system.cache_key(job) == key:

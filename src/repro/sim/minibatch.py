@@ -37,7 +37,12 @@ from repro.cluster.job import Job, JobPhase, JobProgress
 from repro.core.policies.gavel import fairness_ratio
 from repro.core.resources import Allocation, ResourceVector
 from repro.core.silod import SiloDScheduler
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.metrics import JobRecord, RunResult, TimelineSample
+
+#: Cache key used for the shared LRU pool in cache events (the pool is
+#: one arena shared by every dataset, unlike the per-key uniform caches).
+_LRU_POOL_KEY = "lru_pool"
 
 
 class _JobRuntime:
@@ -116,6 +121,11 @@ class MinibatchEmulator:
     local_read_mbps:
         Local-disk read bandwidth serving cache hits (Figure 3's premise
         is that hits are effectively never the bottleneck).
+    tracer:
+        Structured-event sink (``repro.obs``); same schema as the fluid
+        simulator, with per-item cache activity aggregated to one
+        ``cache_admit``/``cache_evict`` per key per decision interval.
+        ``None`` (default) keeps the free no-op tracer.
     """
 
     def __init__(
@@ -130,6 +140,7 @@ class MinibatchEmulator:
         local_read_mbps: float = 2000.0,
         seed: int = 0,
         max_time_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
@@ -137,6 +148,12 @@ class MinibatchEmulator:
         self.cluster = cluster
         self.scheduler = scheduler
         self.cache_system = cache_system
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            scheduler.tracer = tracer
+        #: Items admitted per cache key within the current interval
+        #: (flushed to aggregated ``cache_admit`` events).
+        self._admits_interval: Dict[str, int] = {}
         self.total = ResourceVector(
             gpus=cluster.total_gpus,
             cache_mb=cluster.total_cache_mb,
@@ -213,6 +230,16 @@ class MinibatchEmulator:
                 seed=self._seed * 1_000_003 + self._arrival_idx,
             )
             self._active[job.job_id] = runtime
+            if self._tracer.enabled:
+                self._tracer.job_submit(
+                    job.submit_time_s,
+                    job.job_id,
+                    model=job.model,
+                    dataset=job.dataset.name,
+                    num_gpus=job.num_gpus,
+                    dataset_mb=job.dataset.size_mb,
+                    total_work_mb=job.total_work_mb,
+                )
 
     def _retire_completions(self) -> None:
         for job_id in list(self._active):
@@ -222,6 +249,18 @@ class MinibatchEmulator:
                 del self._active[job_id]
                 if self.cache_system.per_job_keys:
                     self._uniform_caches.pop(job_id, None)
+                if self._tracer.enabled:
+                    finish = (
+                        runtime.finish_time_s
+                        if runtime.finish_time_s is not None
+                        else self.clock_s
+                    )
+                    self._tracer.job_finish(
+                        finish,
+                        job_id,
+                        jct_s=finish - runtime.job.submit_time_s,
+                        epochs_done=runtime.epochs_done,
+                    )
 
     # ------------------------------------------------------------------
     # Scheduling and cache-state plumbing.
@@ -241,6 +280,8 @@ class MinibatchEmulator:
 
     def _reschedule(self) -> None:
         jobs = [rt.job for rt in self._active.values()]
+        tracer = self._tracer
+        old_gpus = dict(self._allocation.gpus) if tracer.enabled else {}
         self._allocation = self.scheduler.schedule(
             jobs,
             self.total,
@@ -266,6 +307,37 @@ class MinibatchEmulator:
                 rt.start_time_s = self.clock_s
                 key = self.cache_system.cache_key(rt.job)
                 rt.effective_items = self._cache_items_of(key)
+                if tracer.enabled:
+                    job_id = rt.job.job_id
+                    tracer.job_start(
+                        self.clock_s,
+                        job_id,
+                        gpus=self._allocation.gpus_of(job_id),
+                        queue_delay_s=self.clock_s
+                        - rt.job.submit_time_s,
+                    )
+                    tracer.promote_effective(
+                        self.clock_s,
+                        job_id,
+                        key=key,
+                        effective_mb=rt.effective_items
+                        * self._item_size_mb,
+                        reason="job_start",
+                    )
+        if tracer.enabled:
+            seen = set(old_gpus) | set(self._allocation.gpus)
+            for job_id in sorted(seen):
+                if job_id not in self._active:
+                    continue
+                before = old_gpus.get(job_id, 0.0)
+                after = self._allocation.gpus_of(job_id)
+                if abs(before - after) > 1e-9:
+                    tracer.alloc_change(
+                        self.clock_s,
+                        job_id,
+                        gpus_before=before,
+                        gpus_after=after,
+                    )
         ctx = StorageContext(
             running_jobs=running,
             gpu_grants=dict(self._allocation.gpus),
@@ -282,6 +354,7 @@ class MinibatchEmulator:
             clock_s=self.clock_s,
             scheduler_allocation=self._allocation,
             queued_jobs=queued,
+            tracer=self._tracer,
         )
         self._decision = self.cache_system.decide(ctx)
         if not isinstance(self.cache_system, SiloDDataManager):
@@ -303,6 +376,7 @@ class MinibatchEmulator:
         stale shared LRU) can still fetch.
         """
         demands = {}
+        profile = {}
         for job in running:
             rt = self._active.get(job.job_id)
             f_star = self.scheduler.estimator.compute_bound(
@@ -313,6 +387,7 @@ class MinibatchEmulator:
             else:
                 hit = self._decision.hit_ratios.get(job.job_id, 0.0)
             demands[job.job_id] = f_star * (1.0 - hit)
+            profile[job.job_id] = (f_star, hit)
         grants = io_share.max_min_waterfill(
             demands, self.total.remote_io_mbps
         )
@@ -322,6 +397,20 @@ class MinibatchEmulator:
             for job in running:
                 grants[job.job_id] = grants.get(job.job_id, 0.0) + bonus
         self._decision.io_grants = grants
+        if self._tracer.enabled:
+            # Re-emit io_throttle with the *measured* hit ratios: these
+            # events supersede the cache system's model-based ones for
+            # this round (the report keeps the last per (time, job)).
+            for job in running:
+                f_star, hit = profile[job.job_id]
+                self._tracer.io_throttle(
+                    self.clock_s,
+                    job.job_id,
+                    desired_mbps=f_star,
+                    hit_ratio=hit,
+                    demand_mbps=demands[job.job_id],
+                    grant_mbps=grants.get(job.job_id, 0.0),
+                )
         for rt in self._active.values():
             rt.hits_recent = 0
             rt.accesses_recent = 0
@@ -347,6 +436,15 @@ class MinibatchEmulator:
                             rt.effective_items = int(
                                 rt.effective_items * ratio
                             )
+                    if self._tracer.enabled:
+                        self._tracer.cache_evict(
+                            self.clock_s,
+                            key,
+                            delta_mb=(before - cache.size)
+                            * self._item_size_mb,
+                            resident_mb=cache.size * self._item_size_mb,
+                            reason="target_shrink",
+                        )
         # Keys with no target are shrunk to zero only if the pool
         # oversubscribes (uniform caching never evicts eagerly).
         total_items = sum(c.size for c in self._uniform_caches.values())
@@ -357,6 +455,14 @@ class MinibatchEmulator:
                     freed = self._uniform_caches[key].size
                     self._uniform_caches[key].resize(0)
                     total_items -= freed
+                    if freed and self._tracer.enabled:
+                        self._tracer.cache_evict(
+                            self.clock_s,
+                            key,
+                            delta_mb=freed * self._item_size_mb,
+                            resident_mb=0.0,
+                            reason="reclaim",
+                        )
                     if total_items <= pool_items:
                         break
 
@@ -376,16 +482,29 @@ class MinibatchEmulator:
             if cache is None or not population or rate <= 0:
                 continue
             budget_items = int(rate * self._interval_s / self._item_size_mb)
+            before = cache.size
             for _ in range(budget_items):
                 if cache.size >= cache.capacity:
                     break
                 cache.access((key, rng.randrange(population)))
+            if self._tracer.enabled and cache.size > before:
+                self._tracer.cache_admit(
+                    self.clock_s,
+                    key,
+                    delta_mb=(cache.size - before) * self._item_size_mb,
+                    resident_mb=cache.size * self._item_size_mb,
+                    via="prefetch",
+                )
 
     # ------------------------------------------------------------------
     # The per-interval pipeline.
     # ------------------------------------------------------------------
 
     def _run_interval(self, t_end: float) -> None:
+        tracer = self._tracer
+        lru_before = self._lru_pool.size
+        if tracer.enabled:
+            self._admits_interval = {}
         for rt in self._active.values():
             job = rt.job
             gpus = self._allocation.gpus_of(job.job_id)
@@ -410,6 +529,46 @@ class MinibatchEmulator:
                 rt, t_end, step_time, fetch_time, local_time
             )
             rt.ran_last_interval = True
+        if tracer.enabled:
+            self._flush_cache_events(t_end, lru_before)
+
+    def _flush_cache_events(self, t_end: float, lru_before: int) -> None:
+        """Emit the interval's aggregated cache_admit/evict events.
+
+        Item-level churn is aggregated to one ``cache_admit`` per key
+        per interval; for the shared LRU pool, evictions are derived
+        from the pool's size delta and emitted against the pool-wide
+        ``lru_pool`` key (per-key victims are not attributable).
+        """
+        inserted = 0
+        for key in sorted(self._admits_interval):
+            items = self._admits_interval[key]
+            if items <= 0:
+                continue
+            inserted += items
+            if self._is_lru:
+                resident = self._lru_pool.size * self._item_size_mb
+            else:
+                cache = self._uniform_caches.get(key)
+                resident = (cache.size if cache else 0) * self._item_size_mb
+            self._tracer.cache_admit(
+                t_end,
+                key,
+                delta_mb=items * self._item_size_mb,
+                resident_mb=resident,
+                via="miss",
+            )
+        self._admits_interval = {}
+        if self._is_lru:
+            evicted = inserted + lru_before - self._lru_pool.size
+            if evicted > 0:
+                self._tracer.cache_evict(
+                    t_end,
+                    _LRU_POOL_KEY,
+                    delta_mb=evicted * self._item_size_mb,
+                    resident_mb=self._lru_pool.size * self._item_size_mb,
+                    reason="lru",
+                )
 
     def _run_job_pipeline(
         self,
@@ -420,6 +579,7 @@ class MinibatchEmulator:
         local_time: float,
     ) -> None:
         key = self.cache_system.cache_key(rt.job)
+        tracing = self._tracer.enabled
         target_items = int(
             self._decision.cache_targets.get(key, 0.0) / self._item_size_mb
         )
@@ -427,11 +587,19 @@ class MinibatchEmulator:
             item = (key, rt.next_item())
             if self._is_lru:
                 hit = self._lru_pool.access(item)
+                if tracing and not hit and self._lru_pool.capacity > 0:
+                    self._admits_interval[key] = (
+                        self._admits_interval.get(key, 0) + 1
+                    )
             else:
                 cache = self._uniform_caches.get(key)
                 hit = cache is not None and item in cache
                 if not hit and cache is not None and cache.size < target_items:
                     cache.access(item)  # admit under target
+                    if tracing:
+                        self._admits_interval[key] = (
+                            self._admits_interval.get(key, 0) + 1
+                        )
             rt.accesses_recent += 1
             if hit:
                 rt.hits_recent += 1
@@ -462,6 +630,19 @@ class MinibatchEmulator:
                 # Delayed effectiveness: everything resident *now* becomes
                 # usable from the next epoch on.
                 rt.effective_items = self._cache_items_of(key)
+                if tracing and not rt.done:
+                    # The final epoch's boundary coincides with completion
+                    # and is not emitted — matching the fluid simulator.
+                    self._tracer.epoch_boundary(
+                        rt.comp_free_t, rt.job.job_id, epoch=rt.epochs_done
+                    )
+                    self._tracer.promote_effective(
+                        rt.comp_free_t,
+                        rt.job.job_id,
+                        key=key,
+                        effective_mb=rt.effective_items * self._item_size_mb,
+                        reason="epoch_boundary",
+                    )
             if rt.done:
                 rt.finish_time_s = rt.comp_free_t
 

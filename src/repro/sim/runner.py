@@ -101,7 +101,12 @@ def run_experiment(
     cache_kwargs: Optional[dict] = None,
     **sim_kwargs,
 ) -> RunResult:
-    """Run one (policy, cache) cell over a trace and return the result."""
+    """Run one (policy, cache) cell over a trace and return the result.
+
+    Extra keyword arguments (including ``tracer=`` for a
+    :class:`repro.obs.Tracer` capturing structured events) are forwarded
+    to the simulator constructor.
+    """
     scheduler, cache_system = make_system(policy, cache, cache_kwargs)
     if simulator == "fluid":
         sim = FluidSimulator(

@@ -1,0 +1,1 @@
+"""Tests for the structured observability layer (``repro.obs``)."""

@@ -1,0 +1,129 @@
+"""Both simulators must tell the same story in events.
+
+On a deterministic 2-job trace, the fluid simulator and the minibatch
+emulator are required to emit the *same sequence* of lifecycle events
+(``job_submit``/``job_start``/``job_finish`` with the same job ids, in
+the same order) and the same per-job epoch-boundary sequences —
+timestamps may differ (that is the fidelity gap), the structure may not.
+"""
+
+import pytest
+
+from repro import units
+from repro.cluster.dataset import Dataset
+from repro.cluster.hardware import Cluster
+from repro.obs import LIFECYCLE_TYPES, Tracer, validate_event
+from repro.sim.runner import run_experiment
+from repro.workloads.models import make_job
+
+pytestmark = pytest.mark.obs
+
+
+def _two_job_trace():
+    ds_a = Dataset(name="d-a", size_mb=units.gb(20))
+    ds_b = Dataset(name="d-b", size_mb=units.gb(30))
+    return [
+        make_job(
+            "job-a", "resnet50", ds_a, num_gpus=2, num_epochs=3,
+            submit_time_s=0.0,
+        ),
+        make_job(
+            "job-b", "alexnet", ds_b, num_gpus=1, num_epochs=2,
+            submit_time_s=120.0,
+        ),
+    ]
+
+
+def _cluster():
+    return Cluster.build(
+        num_servers=2,
+        gpus_per_server=4,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=units.gbps(1.6),
+    )
+
+
+@pytest.fixture(scope="module", params=["silod", "alluxio"])
+def event_logs(request):
+    logs = {}
+    for simulator in ("fluid", "minibatch"):
+        tracer = Tracer()
+        extra = (
+            {"reschedule_interval_s": 300.0}
+            if simulator == "fluid"
+            else {}
+        )
+        run_experiment(
+            _cluster(),
+            "fifo",
+            request.param,
+            _two_job_trace(),
+            simulator=simulator,
+            tracer=tracer,
+            **extra,
+        )
+        logs[simulator] = tracer.events
+    return logs
+
+
+def test_all_events_schema_valid(event_logs):
+    for events in event_logs.values():
+        for event in events:
+            validate_event(event)
+
+
+def test_lifecycle_sequences_identical(event_logs):
+    sequences = {
+        simulator: [
+            (e.etype, e.job_id)
+            for e in events
+            if e.etype in LIFECYCLE_TYPES
+        ]
+        for simulator, events in event_logs.items()
+    }
+    assert sequences["fluid"] == sequences["minibatch"]
+    # And the sequence is complete: every job submits, starts, finishes.
+    kinds = [etype for etype, _ in sequences["fluid"]]
+    assert kinds.count("job_submit") == 2
+    assert kinds.count("job_start") == 2
+    assert kinds.count("job_finish") == 2
+
+
+def test_epoch_sequences_identical(event_logs):
+    def _epochs(events):
+        out = {}
+        for e in events:
+            if e.etype == "epoch_boundary":
+                out.setdefault(e.job_id, []).append(e.fields["epoch"])
+        return out
+
+    assert _epochs(event_logs["fluid"]) == _epochs(event_logs["minibatch"])
+
+
+def test_finish_events_agree_on_epochs_done(event_logs):
+    def _finishes(events):
+        return {
+            e.job_id: e.fields["epochs_done"]
+            for e in events
+            if e.etype == "job_finish"
+        }
+
+    assert _finishes(event_logs["fluid"]) == _finishes(
+        event_logs["minibatch"]
+    )
+    # The trace is built in epochs, so the counts are known exactly.
+    assert _finishes(event_logs["fluid"]) == {"job-a": 3, "job-b": 2}
+
+
+def test_jcts_close_across_simulators(event_logs):
+    def _jct(events, job_id):
+        return next(
+            e.fields["jct_s"]
+            for e in events
+            if e.etype == "job_finish" and e.job_id == job_id
+        )
+
+    for job_id in ("job-a", "job-b"):
+        fluid = _jct(event_logs["fluid"], job_id)
+        mini = _jct(event_logs["minibatch"], job_id)
+        assert mini == pytest.approx(fluid, rel=0.1)

@@ -56,3 +56,68 @@ def test_matrix_command(tmp_path, capsys):
 def test_unknown_command_fails():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_run_emits_event_log_and_report_reads_it(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    events_path = tmp_path / "ev.jsonl"
+    main(["trace", str(trace_path), "--jobs", "5", "--seed", "11",
+          "--gpus", "8", "--duration-median-min", "20"])
+    code = main([
+        "run", str(trace_path), "--gpus", "8", "--egress-gbps", "1.6",
+        "--cache-per-gpu-gb", "64", "--reschedule-s", "600",
+        "--events", str(events_path),
+    ])
+    assert code == 0
+    capsys.readouterr()
+
+    code = main(["report", str(events_path), "--bins", "6"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for section in (
+        "run summary",
+        "job lifecycle",
+        "throughput timeline",
+        "scheduler decision audit",
+        "cache activity",
+    ):
+        assert section in out
+    # Every trace job shows up in the lifecycle table.
+    assert out.count("job-0000") >= 5
+
+
+def test_run_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "t.jsonl"
+    chrome_path = tmp_path / "ct.json"
+    main(["trace", str(trace_path), "--jobs", "3", "--seed", "5",
+          "--gpus", "8", "--duration-median-min", "20"])
+    code = main([
+        "run", str(trace_path), "--gpus", "8", "--egress-gbps", "1.6",
+        "--cache-per-gpu-gb", "64", "--chrome-trace", str(chrome_path),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    doc = json.loads(chrome_path.read_text())
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    assert {e["ph"] for e in doc["traceEvents"]} <= {"b", "e", "i", "C", "M"}
+
+
+def test_run_minibatch_simulator(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    main(["trace", str(trace_path), "--jobs", "3", "--seed", "5",
+          "--gpus", "8", "--duration-median-min", "10"])
+    code = main([
+        "run", str(trace_path), "--simulator", "minibatch",
+        "--gpus", "8", "--egress-gbps", "1.6", "--cache-per-gpu-gb", "64",
+    ])
+    assert code == 0
+    assert "3/3" in capsys.readouterr().out
+
+
+def test_report_rejects_non_event_files(tmp_path):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"kind": "not-events"}\n')
+    with pytest.raises(ValueError):
+        main(["report", str(bogus)])

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Check docs/OBSERVABILITY.md against the implemented event schema.
+
+The event schema has two sources: ``repro.obs.events`` (what the code
+emits and validates) and ``docs/OBSERVABILITY.md`` (what operators read).
+This script parses the doc's ``### `event_type` `` headings and the
+first column of each field table and fails — exit code 1, with a
+per-drift message — whenever either side documents an event type or a
+field the other does not have.
+
+Run directly (``python tools/check_obs_docs.py``) or via the tier-1
+test ``tests/obs/test_docs_consistency.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+
+_HEADING = re.compile(r"^### `(?P<name>[a-z_]+)`\s*$")
+_TABLE_ROW = re.compile(r"^\| `(?P<field>[a-z_]+)` \|")
+
+
+def parse_doc_schema(text: str) -> dict:
+    """Extract {event_type: [field, ...]} from the markdown source."""
+    schema: dict = {}
+    current = None
+    for line in text.splitlines():
+        heading = _HEADING.match(line)
+        if heading:
+            current = heading.group("name")
+            schema[current] = []
+            continue
+        if current is None:
+            continue
+        if line.startswith("## "):
+            current = None
+            continue
+        row = _TABLE_ROW.match(line)
+        if row:
+            schema[current].append(row.group("field"))
+    return schema
+
+
+def compare(doc_schema: dict, code_fields: dict) -> list:
+    """Return a list of human-readable drift messages (empty = in sync)."""
+    problems = []
+    for etype in code_fields:
+        if etype not in doc_schema:
+            problems.append(
+                f"event type {etype!r} is implemented but has no "
+                f"'### `{etype}`' section in docs/OBSERVABILITY.md"
+            )
+    for etype in doc_schema:
+        if etype not in code_fields:
+            problems.append(
+                f"docs/OBSERVABILITY.md documents {etype!r}, which is "
+                f"not in repro.obs.events.EVENT_FIELDS"
+            )
+    for etype, fields in code_fields.items():
+        documented = doc_schema.get(etype)
+        if documented is None:
+            continue
+        missing = [f for f in fields if f not in documented]
+        extra = [f for f in documented if f not in fields]
+        if missing:
+            problems.append(
+                f"{etype}: fields {missing} implemented but undocumented"
+            )
+        if extra:
+            problems.append(
+                f"{etype}: fields {extra} documented but not implemented"
+            )
+    return problems
+
+
+def main() -> int:
+    """Run the check; print drift and return the exit code."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.events import EVENT_FIELDS
+
+    doc_schema = parse_doc_schema(DOC_PATH.read_text())
+    code_fields = {k: list(v) for k, v in EVENT_FIELDS.items()}
+    problems = compare(doc_schema, code_fields)
+    if problems:
+        for problem in problems:
+            print(f"DRIFT: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"docs/OBSERVABILITY.md in sync: {len(code_fields)} event types, "
+        f"{sum(len(v) for v in code_fields.values())} fields"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
