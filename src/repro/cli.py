@@ -6,7 +6,8 @@ Five subcommands cover the end-to-end workflow:
   summary statistics;
 * ``run``       — simulate one (policy, cache) configuration over a trace
   and print JCT / makespan / fairness (``--events`` captures a structured
-  event log for later analysis);
+  event log for later analysis; ``--faults`` / ``--churn-seed`` drive the
+  run through a fault schedule, see ``docs/FAULTS.md``);
 * ``matrix``    — the Figure 12-style grid over policies x caches;
 * ``estimate``  — evaluate the closed-form SiloDPerf model for a single
   allocation (a calculator for Eq 4 / Eq 5);
@@ -27,6 +28,7 @@ from repro import units
 from repro.analysis.tables import render_table
 from repro.cluster.hardware import Cluster
 from repro.core import perf_model
+from repro.faults import FaultSchedule, generate_churn
 from repro.obs import (
     Tracer,
     load_events,
@@ -97,12 +99,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_schedule(
+    args: argparse.Namespace, cluster: Cluster
+) -> Optional[FaultSchedule]:
+    """The run's fault schedule: a spec file, a churn seed, or none."""
+    if args.faults and args.churn_seed is not None:
+        raise SystemExit("--faults and --churn-seed are mutually exclusive")
+    if args.faults:
+        return FaultSchedule.load(args.faults)
+    if args.churn_seed is not None:
+        return generate_churn(
+            seed=args.churn_seed,
+            duration_s=args.churn_hours * 3600.0,
+            num_servers=len(cluster.servers),
+            total_cache_mb=cluster.total_cache_mb,
+        )
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cluster = _build_cluster(args)
     jobs = load_trace(args.trace)
     tracing = bool(args.events or args.chrome_trace)
     tracer = Tracer() if tracing else None
     sim_kwargs = {"tracer": tracer}
+    schedule = _build_fault_schedule(args, cluster)
+    if schedule is not None:
+        sim_kwargs["faults"] = schedule
+        print(f"fault schedule: {len(schedule)} events")
     if args.simulator == "fluid":
         # The minibatch emulator reschedules every decision interval and
         # takes no reschedule knob.
@@ -239,7 +263,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--load",
         type=float,
         default=1.5,
-        help="target cluster load factor (default 1.5)",
+        help="target cluster load factor, > 0 (default 1.5; 1.0 keeps "
+        "the cluster exactly busy, above 1.0 builds a queue)",
     )
     p_trace.add_argument(
         "--duration-median-min",
@@ -251,7 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--sharing",
         type=float,
         default=0.0,
-        help="fraction of jobs sharing pooled datasets (default 0.0)",
+        help="fraction of jobs sharing pooled datasets, 0.0-1.0 "
+        "(default 0.0 = every job brings its own dataset)",
     )
     p_trace.set_defaults(func=_cmd_trace)
 
@@ -276,6 +302,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=1800.0,
         help="scheduling interval in seconds (default 1800; fluid only — "
         "the minibatch emulator reschedules every decision interval)",
+    )
+    p_run.add_argument(
+        "--faults",
+        default=None,
+        metavar="PATH",
+        help="fault-schedule JSON driving cluster churn (default: none; "
+        "a list of {time_s, kind, target, magnitude} objects with kind "
+        "one of server_crash, server_recover, cache_loss, cache_recover, "
+        "bandwidth, job_preempt, job_restart — see docs/FAULTS.md; "
+        "mutually exclusive with --churn-seed)",
+    )
+    p_run.add_argument(
+        "--churn-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generate a seeded random churn schedule instead of loading "
+        "one (default: no churn; same seed => same schedule)",
+    )
+    p_run.add_argument(
+        "--churn-hours",
+        type=float,
+        default=24.0,
+        metavar="H",
+        help="horizon of the generated churn schedule in hours "
+        "(default 24.0; only meaningful with --churn-seed)",
     )
     p_run.add_argument(
         "--events",

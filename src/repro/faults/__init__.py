@@ -1,0 +1,32 @@
+"""repro.faults — fault injection & cluster churn for both simulators.
+
+Two pieces (see ``docs/FAULTS.md`` for the spec format, recovery
+semantics, and a worked example):
+
+* :mod:`repro.faults.spec` — :class:`FaultEvent`/:class:`FaultSchedule`
+  (declarative churn specs, JSON-loadable) and :func:`generate_churn`
+  (a seeded churn model);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the shared
+  engine that turns a schedule into capacity changes, cache
+  invalidations, and deterministic job preemptions inside either
+  simulator.
+"""
+
+from repro.faults.injector import FaultEffect, FaultInjector
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    as_schedule,
+    generate_churn,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultEffect",
+    "FaultInjector",
+    "as_schedule",
+    "generate_churn",
+]

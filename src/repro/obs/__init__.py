@@ -18,6 +18,7 @@ for the full event schema and worked examples):
 from repro.obs.events import (
     EVENT_FIELDS,
     EVENT_TYPES,
+    FAULT_TYPES,
     LIFECYCLE_TYPES,
     Event,
     validate_event,
@@ -30,13 +31,19 @@ from repro.obs.export import (
     save_events_csv,
 )
 from repro.obs.registry import MetricsRegistry
-from repro.obs.report import render_report, save_timeline_csv, timeline_rows
+from repro.obs.report import (
+    fault_table,
+    render_report,
+    save_timeline_csv,
+    timeline_rows,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "Event",
     "EVENT_TYPES",
     "EVENT_FIELDS",
+    "FAULT_TYPES",
     "LIFECYCLE_TYPES",
     "validate_event",
     "Tracer",
@@ -49,6 +56,7 @@ __all__ = [
     "chrome_trace",
     "save_chrome_trace",
     "render_report",
+    "fault_table",
     "timeline_rows",
     "save_timeline_csv",
 ]

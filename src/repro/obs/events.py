@@ -31,6 +31,15 @@ Event types
 ``io_throttle``
     A job's remote-IO grant for the coming round, alongside the
     instantaneous demand it throttles.
+``fault_inject`` / ``node_down`` / ``node_up``
+    The fault subsystem (``repro.faults``): one ``fault_inject`` per
+    applied schedule entry, plus capacity bookkeeping for node kinds.
+``cache_invalidate``
+    A fault destroyed resident bytes of a cache key (distinct from
+    ``cache_evict``, which is policy-driven).
+``job_preempt`` / ``job_restart``
+    A job was preempted by a fault (rolled back to its last epoch
+    boundary) / released from an explicit ``job_preempt`` hold.
 """
 
 from __future__ import annotations
@@ -48,6 +57,12 @@ PROMOTE_EFFECTIVE = "promote_effective"
 IO_THROTTLE = "io_throttle"
 EPOCH_BOUNDARY = "epoch_boundary"
 ALLOC_CHANGE = "alloc_change"
+FAULT_INJECT = "fault_inject"
+NODE_DOWN = "node_down"
+NODE_UP = "node_up"
+CACHE_INVALIDATE = "cache_invalidate"
+JOB_PREEMPT = "job_preempt"
+JOB_RESTART = "job_restart"
 
 #: Every event type, in documentation order.
 EVENT_TYPES = (
@@ -61,10 +76,29 @@ EVENT_TYPES = (
     PROMOTE_EFFECTIVE,
     EPOCH_BOUNDARY,
     IO_THROTTLE,
+    FAULT_INJECT,
+    NODE_DOWN,
+    NODE_UP,
+    CACHE_INVALIDATE,
+    JOB_PREEMPT,
+    JOB_RESTART,
 )
 
 #: The job-lifecycle subset both simulators must emit identically.
 LIFECYCLE_TYPES = (JOB_SUBMIT, JOB_START, JOB_FINISH)
+
+#: The fault-subsystem subset (``repro.faults``). For the same fault
+#: schedule, both simulators must emit the same sequence of these
+#: (timestamps may differ: the minibatch emulator applies faults at
+#: batch boundaries).
+FAULT_TYPES = (
+    FAULT_INJECT,
+    NODE_DOWN,
+    NODE_UP,
+    CACHE_INVALIDATE,
+    JOB_PREEMPT,
+    JOB_RESTART,
+)
 
 #: Field names each event type carries (beyond ``ts_s``/``etype``/
 #: ``job_id``). The docs-consistency check enforces that the schema
@@ -95,6 +129,12 @@ EVENT_FIELDS: Dict[str, tuple] = {
         "grant_mbps",
         "capped",
     ),
+    FAULT_INJECT: ("kind", "target", "magnitude"),
+    NODE_DOWN: ("kind", "gpus_lost", "cache_lost_mb"),
+    NODE_UP: ("kind", "gpus_restored", "cache_restored_mb"),
+    CACHE_INVALIDATE: ("key", "delta_mb", "resident_mb", "cause"),
+    JOB_PREEMPT: ("reason", "rollback_mb", "epoch"),
+    JOB_RESTART: ("reason", "epoch"),
 }
 
 

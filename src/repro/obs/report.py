@@ -13,10 +13,14 @@ of one run (typically loaded from the JSONL log), it reconstructs
   aggregates and GPU churn per policy, from ``sched_decision`` and
   ``alloc_change``;
 * the **cache activity table** — admitted/evicted bytes and
-  effectiveness promotions per cache key.
+  effectiveness promotions per cache key;
+* the **fault timeline** — one row per fault-subsystem event
+  (``fault_inject``, ``node_down``/``node_up``, ``cache_invalidate``,
+  ``job_preempt``/``job_restart``), rendered only when a run was driven
+  by a ``repro.faults`` schedule.
 
-``python -m repro report`` prints all four; each table is also exposed
-as plain rows for programmatic use.
+``python -m repro report`` prints all of them; each table is also
+exposed as plain rows for programmatic use.
 """
 
 from __future__ import annotations
@@ -219,6 +223,63 @@ def cache_table(events: Sequence[Event]) -> List[dict]:
     return sorted(keys.values(), key=lambda r: r["key"])
 
 
+def fault_table(events: Sequence[Event]) -> List[dict]:
+    """Chronological fault-timeline rows (``repro.faults`` events).
+
+    One row per fault event, in emission order: what was injected, which
+    capacity moved, what was invalidated, and who got preempted. Empty
+    when the run had no fault schedule.
+    """
+    rows = []
+    for event in events:
+        if event.etype not in ev.FAULT_TYPES:
+            continue
+        if event.etype == ev.FAULT_INJECT:
+            detail = (
+                f"kind={event.fields.get('kind')}"
+                f" magnitude={event.fields.get('magnitude')}"
+            )
+            target = event.fields.get("target")
+            if target:
+                detail += f" target={target}"
+        elif event.etype == ev.NODE_DOWN:
+            detail = (
+                f"{event.fields.get('kind')}:"
+                f" -{float(event.fields.get('gpus_lost', 0.0)):g} GPUs,"
+                f" -{float(event.fields.get('cache_lost_mb', 0.0)):g} MB cache"
+            )
+        elif event.etype == ev.NODE_UP:
+            detail = (
+                f"{event.fields.get('kind')}:"
+                f" +{float(event.fields.get('gpus_restored', 0.0)):g} GPUs,"
+                f" +{float(event.fields.get('cache_restored_mb', 0.0)):g}"
+                " MB cache (cold)"
+            )
+        elif event.etype == ev.CACHE_INVALIDATE:
+            detail = (
+                f"key={event.fields.get('key')}"
+                f" -{float(event.fields.get('delta_mb', 0.0)):g} MB"
+                f" ({event.fields.get('cause')})"
+            )
+        elif event.etype == ev.JOB_PREEMPT:
+            detail = (
+                f"reason={event.fields.get('reason')}"
+                f" rollback={float(event.fields.get('rollback_mb', 0.0)):g} MB"
+                f" epoch={event.fields.get('epoch')}"
+            )
+        else:  # JOB_RESTART
+            detail = f"resumes at epoch {event.fields.get('epoch')}"
+        rows.append(
+            {
+                "t_min": event.ts_s / 60.0,
+                "event": event.etype,
+                "job": event.job_id or "-",
+                "detail": detail,
+            }
+        )
+    return rows
+
+
 def summary_rows(events: Sequence[Event]) -> List[dict]:
     """Run-level aggregates (the ``run`` command's headline numbers)."""
     jobs = job_table(events)
@@ -269,6 +330,11 @@ def render_report(events: Sequence[Event], bins: int = 24) -> str:
     caches = cache_table(events)
     if caches:
         sections.append(render_table(caches, title="cache activity"))
+    faults = fault_table(events)
+    if faults:
+        sections.append(
+            render_table(faults, title="fault timeline (repro.faults)")
+        )
     return "\n\n".join(sections)
 
 

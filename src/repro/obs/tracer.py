@@ -259,6 +259,98 @@ class Tracer:
         if capped and self.enabled:
             self.metrics.inc("io.throttled_rounds", job_id=job_id)
 
+    # ------------------------------------------------------------------
+    # Fault-subsystem helpers (``repro.faults``).
+    # ------------------------------------------------------------------
+
+    def fault_inject(
+        self, ts_s: float, kind: str, target: str, magnitude: float
+    ) -> None:
+        """A fault-schedule entry was applied to the cluster."""
+        self.emit(
+            ts_s,
+            ev.FAULT_INJECT,
+            kind=kind,
+            target=target,
+            magnitude=magnitude,
+        )
+        if self.enabled:
+            self.metrics.inc("faults.injected")
+
+    def node_down(
+        self, ts_s: float, kind: str, gpus_lost: float, cache_lost_mb: float
+    ) -> None:
+        """Cluster capacity shrank: a server crashed or a cache node died."""
+        self.emit(
+            ts_s,
+            ev.NODE_DOWN,
+            kind=kind,
+            gpus_lost=gpus_lost,
+            cache_lost_mb=cache_lost_mb,
+        )
+
+    def node_up(
+        self,
+        ts_s: float,
+        kind: str,
+        gpus_restored: float,
+        cache_restored_mb: float,
+    ) -> None:
+        """Cluster capacity recovered (the node returns with a cold disk)."""
+        self.emit(
+            ts_s,
+            ev.NODE_UP,
+            kind=kind,
+            gpus_restored=gpus_restored,
+            cache_restored_mb=cache_restored_mb,
+        )
+
+    def cache_invalidate(
+        self,
+        ts_s: float,
+        key: str,
+        delta_mb: float,
+        resident_mb: float,
+        cause: str,
+    ) -> None:
+        """A fault destroyed ``delta_mb`` resident bytes of a cache key."""
+        self.emit(
+            ts_s,
+            ev.CACHE_INVALIDATE,
+            key=key,
+            delta_mb=delta_mb,
+            resident_mb=resident_mb,
+            cause=cause,
+        )
+        if self.enabled:
+            self.metrics.inc("cache.invalidated_mb", delta_mb)
+
+    def job_preempt(
+        self,
+        ts_s: float,
+        job_id: str,
+        reason: str,
+        rollback_mb: float,
+        epoch: int,
+    ) -> None:
+        """A fault preempted a job; it restarts from its last epoch."""
+        self.emit(
+            ts_s,
+            ev.JOB_PREEMPT,
+            job_id,
+            reason=reason,
+            rollback_mb=rollback_mb,
+            epoch=epoch,
+        )
+        if self.enabled:
+            self.metrics.inc("faults.preemptions", job_id=job_id)
+
+    def job_restart(
+        self, ts_s: float, job_id: str, reason: str, epoch: int
+    ) -> None:
+        """A preempted job was released back to the scheduler's queue."""
+        self.emit(ts_s, ev.JOB_RESTART, job_id, reason=reason, epoch=epoch)
+
 
 class NullTracer(Tracer):
     """The free default: records nothing, counts nothing."""

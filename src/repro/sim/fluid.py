@@ -37,6 +37,8 @@ from repro.cluster.job import Job, JobPhase, JobProgress
 from repro.core.policies.gavel import fairness_ratio
 from repro.core.resources import Allocation, ResourceVector
 from repro.core.silod import SiloDScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import ScheduleLike, as_schedule
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.metrics import JobRecord, RunResult, TimelineSample
 
@@ -86,6 +88,14 @@ class FluidSimulator:
         even striping, ``1/num_servers`` of every dataset's resident and
         effective bytes disappear (a *restart* would lose nothing — the
         content is on disk — so this is the harsher case).
+    faults:
+        A :class:`repro.faults.FaultSchedule` (or sequence of
+        :class:`~repro.faults.FaultEvent`) driving the full churn model:
+        server crash/recover with job preemption and cache-shard
+        invalidation, cache-node loss, bandwidth flaps, and explicit job
+        preempt/restart. Events are applied analytically at their exact
+        times and every application triggers a reschedule round. An
+        empty/absent schedule is a strict no-op. See ``docs/FAULTS.md``.
     tracer:
         Structured-event sink (``repro.obs``). When given, the simulator
         emits the full event schema (job lifecycle, epoch boundaries,
@@ -105,6 +115,7 @@ class FluidSimulator:
         max_time_s: Optional[float] = None,
         data_manager_crash_times_s: Sequence[float] = (),
         server_loss_times_s: Sequence[float] = (),
+        faults: ScheduleLike = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         ids = [job.job_id for job in jobs]
@@ -127,6 +138,17 @@ class FluidSimulator:
         self._max_time_s = max_time_s
         self._crash_times = sorted(data_manager_crash_times_s)
         self._loss_times = sorted(server_loss_times_s)
+        schedule = as_schedule(faults)
+        self._injector = (
+            FaultInjector(schedule, cluster, tracer=self._tracer)
+            if schedule is not None
+            else None
+        )
+        #: The pristine capacity vector churn is measured against; when a
+        #: fault schedule is active, ``self.total`` is rebuilt from it.
+        self._base_total = self.total
+        #: Jobs held out of scheduling by an explicit ``job_preempt``.
+        self._blocked: set = set()
 
         self.clock_s = 0.0
         self._arrival_idx = 0
@@ -164,6 +186,10 @@ class FluidSimulator:
                 candidates.append(max(self.clock_s, self._crash_times[0]))
             if self._loss_times:
                 candidates.append(max(self.clock_s, self._loss_times[0]))
+            if self._injector is not None:
+                t_fault = self._injector.next_time()
+                if t_fault is not None:
+                    candidates.append(max(self.clock_s, t_fault))
             if self._max_time_s is not None:
                 candidates.append(self._max_time_s)
             t_next = min(t for t in candidates if t is not None)
@@ -178,6 +204,7 @@ class FluidSimulator:
             changed |= self._admit_arrivals()
             changed |= self._retire_completions()
             changed |= self._inject_faults()
+            changed |= self._apply_fault_schedule()
             epoch_flip = self._promote_epoch_boundaries()
 
             if changed or self.clock_s >= next_reschedule:
@@ -386,6 +413,92 @@ class FluidSimulator:
             changed = True
         return changed
 
+    def _apply_fault_schedule(self) -> bool:
+        """Apply due ``repro.faults`` schedule entries (churn model).
+
+        Capacity changes take hold analytically at the event's exact
+        time; returning ``True`` makes the caller re-run the scheduler,
+        so SiloD re-allocates cache within the same round the fault
+        lands in.
+        """
+        if self._injector is None:
+            return False
+        due = self._injector.pop_due(self.clock_s)
+        if not due:
+            return False
+        for event in due:
+            effect = self._injector.apply(event, self.clock_s)
+            if effect.evict_fraction > 0:
+                self._invalidate_fraction(
+                    effect.evict_fraction, cause=event.kind
+                )
+            if effect.preempt_gpus > 0:
+                victims = self._injector.select_victims(
+                    {
+                        job_id: self._allocation.gpus_of(job_id)
+                        for job_id in self._active
+                    },
+                    effect.preempt_gpus,
+                )
+                for job_id in victims:
+                    self._preempt_job(job_id, reason=event.kind)
+            if event.kind == "job_preempt" and effect.job_id in self._active:
+                self._blocked.add(effect.job_id)
+                self._preempt_job(effect.job_id, reason=event.kind)
+            elif event.kind == "job_restart":
+                self._blocked.discard(effect.job_id)
+                if self._tracer.enabled and effect.job_id in self._active:
+                    self._tracer.job_restart(
+                        self.clock_s,
+                        effect.job_id,
+                        reason=event.kind,
+                        epoch=self._active[effect.job_id].epoch_index,
+                    )
+        self.total = self._injector.effective_total(self._base_total)
+        self._reclaim_overshoot()
+        return True
+
+    def _invalidate_fraction(self, fraction: float, cause: str) -> None:
+        """A fault destroyed ``fraction`` of every key's resident bytes.
+
+        Even striping: every dataset loses the same share, and each
+        job's effective bytes shrink in ratio (the lost items were a
+        uniform sample of what it could hit).
+        """
+        ratio = max(0.0, 1.0 - fraction)
+        tracer = self._tracer
+        for key in sorted(self._cache):
+            state = self._cache[key]
+            if state.resident_mb <= 0:
+                continue
+            before = state.resident_mb
+            state.resident_mb = before * ratio
+            if tracer.enabled and before - state.resident_mb > 1e-6:
+                tracer.cache_invalidate(
+                    self.clock_s,
+                    key,
+                    delta_mb=before - state.resident_mb,
+                    resident_mb=state.resident_mb,
+                    cause=cause,
+                )
+            self._scale_effective(key, ratio)
+
+    def _preempt_job(self, job_id: str, reason: str) -> None:
+        """Epoch-granularity restart: roll back to the last boundary."""
+        progress = self._active.get(job_id)
+        if progress is None:
+            return
+        rollback = progress.epoch_position_mb
+        progress.work_done_mb = max(0.0, progress.work_done_mb - rollback)
+        if self._tracer.enabled:
+            self._tracer.job_preempt(
+                self.clock_s,
+                job_id,
+                reason=reason,
+                rollback_mb=rollback,
+                epoch=progress.epoch_index,
+            )
+
     def _promote_epoch_boundaries(self) -> bool:
         """Detect epoch crossings; promote resident -> effective (§6)."""
         flipped = False
@@ -421,7 +534,11 @@ class FluidSimulator:
     # ------------------------------------------------------------------
 
     def _reschedule(self) -> None:
-        jobs = [p.job for p in self._active.values()]
+        jobs = [
+            p.job
+            for p in self._active.values()
+            if p.job.job_id not in self._blocked
+        ]
         tracer = self._tracer
         old_gpus = dict(self._allocation.gpus) if tracer.enabled else {}
         self._allocation = self.scheduler.schedule(
@@ -618,6 +735,10 @@ class FluidSimulator:
                 resident_mb=state.resident_mb,
                 reason=reason,
             )
+        self._scale_effective(key, ratio)
+
+    def _scale_effective(self, key: str, ratio: float) -> None:
+        """Shrink every sharer's effective bytes after a random eviction."""
         for progress in self._active.values():
             job = progress.job
             if self.cache_system.cache_key(job) == key:

@@ -37,6 +37,8 @@ from repro.cluster.job import Job, JobPhase, JobProgress
 from repro.core.policies.gavel import fairness_ratio
 from repro.core.resources import Allocation, ResourceVector
 from repro.core.silod import SiloDScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import ScheduleLike, as_schedule
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.metrics import JobRecord, RunResult, TimelineSample
 
@@ -121,6 +123,13 @@ class MinibatchEmulator:
     local_read_mbps:
         Local-disk read bandwidth serving cache hits (Figure 3's premise
         is that hits are effectively never the bottleneck).
+    faults:
+        A :class:`repro.faults.FaultSchedule` (or sequence of
+        :class:`~repro.faults.FaultEvent`), the same spec the fluid
+        simulator accepts. Events are applied at the next decision
+        interval boundary at or after their scheduled time (batch
+        granularity); an empty/absent schedule is a strict no-op. See
+        ``docs/FAULTS.md``.
     tracer:
         Structured-event sink (``repro.obs``); same schema as the fluid
         simulator, with per-item cache activity aggregated to one
@@ -140,6 +149,7 @@ class MinibatchEmulator:
         local_read_mbps: float = 2000.0,
         seed: int = 0,
         max_time_s: Optional[float] = None,
+        faults: ScheduleLike = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         ids = [job.job_id for job in jobs]
@@ -167,6 +177,17 @@ class MinibatchEmulator:
         self._seed = seed
         self._max_time_s = max_time_s
         self._is_lru = isinstance(cache_system, AlluxioCache)
+        schedule = as_schedule(faults)
+        self._injector = (
+            FaultInjector(schedule, cluster, tracer=self._tracer)
+            if schedule is not None
+            else None
+        )
+        #: The pristine capacity vector churn is measured against; when a
+        #: fault schedule is active, ``self.total`` is rebuilt from it.
+        self._base_total = self.total
+        #: Jobs held out of scheduling by an explicit ``job_preempt``.
+        self._blocked: set = set()
 
         self.clock_s = 0.0
         self._arrival_idx = 0
@@ -200,6 +221,7 @@ class MinibatchEmulator:
                 )
             self._admit_arrivals()
             self._retire_completions()
+            self._apply_fault_schedule()
             self._reschedule()
             t_end = self.clock_s + self._interval_s
             self._run_interval(t_end)
@@ -263,6 +285,125 @@ class MinibatchEmulator:
                     )
 
     # ------------------------------------------------------------------
+    # Fault schedule (``repro.faults``).
+    # ------------------------------------------------------------------
+
+    def _apply_fault_schedule(self) -> None:
+        """Apply due fault events at this decision-interval boundary.
+
+        The emulator's analog of the fluid simulator's handler: faults
+        land at batch granularity (the first boundary at or after their
+        scheduled time), and the reschedule that follows every interval
+        re-runs the allocator on the shrunk capacity.
+        """
+        if self._injector is None:
+            return
+        due = self._injector.pop_due(self.clock_s)
+        if not due:
+            return
+        for event in due:
+            effect = self._injector.apply(event, self.clock_s)
+            if effect.evict_fraction > 0:
+                self._invalidate_fraction(
+                    effect.evict_fraction, cause=event.kind
+                )
+            if effect.preempt_gpus > 0:
+                victims = self._injector.select_victims(
+                    {
+                        job_id: self._allocation.gpus_of(job_id)
+                        for job_id in self._active
+                    },
+                    effect.preempt_gpus,
+                )
+                for job_id in victims:
+                    self._preempt_job(job_id, reason=event.kind)
+            if event.kind == "job_preempt" and effect.job_id in self._active:
+                self._blocked.add(effect.job_id)
+                self._preempt_job(effect.job_id, reason=event.kind)
+            elif event.kind == "job_restart":
+                self._blocked.discard(effect.job_id)
+                if self._tracer.enabled and effect.job_id in self._active:
+                    self._tracer.job_restart(
+                        self.clock_s,
+                        effect.job_id,
+                        reason=event.kind,
+                        epoch=self._active[effect.job_id].epochs_done,
+                    )
+        self.total = self._injector.effective_total(self._base_total)
+        if self._is_lru:
+            # The shared pool tracks the (possibly shrunk) capacity; LRU
+            # eviction handles any overflow.
+            self._lru_pool.resize(
+                int(self.total.cache_mb / self._item_size_mb)
+            )
+
+    def _invalidate_fraction(self, fraction: float, cause: str) -> None:
+        """A fault destroyed ``fraction`` of every cache's items.
+
+        Implemented through the caches' public ``resize``: shrinking to
+        the kept size evicts (uniform caches pick victims at random, the
+        LRU pool drops its coldest entries), then the capacity is
+        restored so refills can proceed.
+        """
+        keep_ratio = max(0.0, 1.0 - fraction)
+        tracer = self._tracer
+        if self._is_lru:
+            before = self._lru_pool.size
+            keep = int(before * keep_ratio)
+            if before > 0 and keep < before:
+                cap = self._lru_pool.capacity
+                self._lru_pool.resize(keep)
+                self._lru_pool.resize(cap)
+                if tracer.enabled:
+                    tracer.cache_invalidate(
+                        self.clock_s,
+                        _LRU_POOL_KEY,
+                        delta_mb=(before - keep) * self._item_size_mb,
+                        resident_mb=keep * self._item_size_mb,
+                        cause=cause,
+                    )
+        else:
+            for key in sorted(self._uniform_caches):
+                cache = self._uniform_caches[key]
+                before = cache.size
+                keep = int(before * keep_ratio)
+                if before <= 0 or keep >= before:
+                    continue
+                cap = cache.capacity
+                cache.resize(keep)
+                cache.resize(cap)
+                if tracer.enabled:
+                    tracer.cache_invalidate(
+                        self.clock_s,
+                        key,
+                        delta_mb=(before - keep) * self._item_size_mb,
+                        resident_mb=keep * self._item_size_mb,
+                        cause=cause,
+                    )
+        # Lost items were a uniform sample of what each job could hit.
+        for rt in self._active.values():
+            rt.effective_items = int(rt.effective_items * keep_ratio)
+
+    def _preempt_job(self, job_id: str, reason: str) -> None:
+        """Epoch-granularity restart: replay the current epoch."""
+        rt = self._active.get(job_id)
+        if rt is None:
+            return
+        rollback_items = rt.epoch_pos
+        rt.items_done = max(0, rt.items_done - rt.epoch_pos)
+        rt.epoch_pos = 0
+        rt.ran_last_interval = False
+        rt.comp_finish_history.clear()
+        if self._tracer.enabled:
+            self._tracer.job_preempt(
+                self.clock_s,
+                job_id,
+                reason=reason,
+                rollback_mb=rollback_items * self._item_size_mb,
+                epoch=rt.epochs_done,
+            )
+
+    # ------------------------------------------------------------------
     # Scheduling and cache-state plumbing.
     # ------------------------------------------------------------------
 
@@ -279,7 +420,11 @@ class MinibatchEmulator:
         return runtime.effective_items * self._item_size_mb
 
     def _reschedule(self) -> None:
-        jobs = [rt.job for rt in self._active.values()]
+        jobs = [
+            rt.job
+            for rt in self._active.values()
+            if rt.job.job_id not in self._blocked
+        ]
         tracer = self._tracer
         old_gpus = dict(self._allocation.gpus) if tracer.enabled else {}
         self._allocation = self.scheduler.schedule(

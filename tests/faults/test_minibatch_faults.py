@@ -1,0 +1,107 @@
+"""Fault schedules driving the minibatch emulator at batch boundaries."""
+
+import pytest
+
+from repro.faults import FaultEvent
+from repro.obs import Tracer
+from repro.sim.runner import run_experiment
+
+from tests.faults.conftest import small_cluster, two_job_trace
+
+pytestmark = pytest.mark.faults
+
+
+def run(cache="silod", faults=None, tracer=None):
+    kwargs = {"tracer": tracer} if tracer is not None else {}
+    return run_experiment(
+        small_cluster(),
+        "fifo",
+        cache,
+        two_job_trace(),
+        simulator="minibatch",
+        faults=faults,
+        **kwargs,
+    )
+
+
+def jct_of(result, job_id):
+    return next(
+        r.jct_s for r in result.finished_records() if r.job_id == job_id
+    )
+
+
+def test_server_crash_degrades_jct_but_run_completes():
+    clean = run()
+    crashed = run(
+        faults=[FaultEvent(150.0, "server_crash", magnitude=1)]
+    )
+    assert len(crashed.finished_records()) == 2
+    assert crashed.average_jct_s() > clean.average_jct_s() * 1.005
+
+
+def test_crash_emits_fault_event_sequence():
+    tracer = Tracer()
+    run(
+        faults=[FaultEvent(150.0, "server_crash", magnitude=1)],
+        tracer=tracer,
+    )
+    etypes = {e.etype for e in tracer.events}
+    assert {"fault_inject", "node_down", "cache_invalidate"} <= etypes
+    preempts = [e for e in tracer.events if e.etype == "job_preempt"]
+    # 4 GPUs lost > the 3 granted: every running job is a victim,
+    # in sorted-id order.
+    assert [e.job_id for e in preempts] == ["job-a", "job-b"]
+    for event in preempts:
+        assert event.fields["reason"] == "server_crash"
+        assert event.fields["rollback_mb"] >= 0.0
+    # Faults land on decision-interval boundaries, never before t=150.
+    inject = next(e for e in tracer.events if e.etype == "fault_inject")
+    assert inject.ts_s >= 150.0
+
+
+def test_crash_shrinks_lru_pool_too():
+    tracer = Tracer()
+    result = run(
+        cache="alluxio",
+        faults=[FaultEvent(150.0, "server_crash", magnitude=1)],
+        tracer=tracer,
+    )
+    assert len(result.finished_records()) == 2
+    invalidates = [
+        e for e in tracer.events if e.etype == "cache_invalidate"
+    ]
+    assert invalidates
+    assert all(e.fields["delta_mb"] > 0.0 for e in invalidates)
+
+
+def test_explicit_preempt_holds_job_until_restart():
+    clean = run()
+    tracer = Tracer()
+    faulted = run(
+        faults=[
+            FaultEvent(120.0, "job_preempt", target="job-a"),
+            FaultEvent(600.0, "job_restart", target="job-a"),
+        ],
+        tracer=tracer,
+    )
+    assert len(faulted.finished_records()) == 2
+    assert jct_of(faulted, "job-a") > jct_of(clean, "job-a") + 300.0
+    etypes = [
+        e.etype
+        for e in tracer.events
+        if e.job_id == "job-a"
+        and e.etype in ("job_preempt", "job_restart")
+    ]
+    assert etypes == ["job_preempt", "job_restart"]
+
+
+def test_bandwidth_flap_degrades_jct():
+    clean = run()
+    flapped = run(
+        faults=[
+            FaultEvent(120.0, "bandwidth", magnitude=0.2),
+            FaultEvent(360.0, "bandwidth", magnitude=1.0),
+        ]
+    )
+    assert len(flapped.finished_records()) == 2
+    assert flapped.average_jct_s() > clean.average_jct_s() * 1.005

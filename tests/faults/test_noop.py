@@ -1,0 +1,58 @@
+"""The strict no-op guarantee.
+
+With no fault schedule — omitted, ``None``, an empty list, or an empty
+``FaultSchedule`` — both simulators must produce results identical to a
+build without the subsystem. ``dataclasses.asdict`` compares every
+record, timeline sample, and summary field at full float precision.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.obs import Tracer
+from repro.sim.runner import run_experiment
+
+from tests.faults.conftest import small_cluster, two_job_trace
+
+pytestmark = pytest.mark.faults
+
+EMPTY_FORMS = [None, [], (), FaultSchedule(), FaultSchedule([])]
+
+
+def run(simulator, **kwargs):
+    return run_experiment(
+        small_cluster(),
+        "fifo",
+        "silod",
+        two_job_trace(),
+        simulator=simulator,
+        **kwargs,
+    )
+
+
+def snapshot(result):
+    # JSON-serialise so NaN fields (fairness before any finish) compare
+    # equal; everything else still compares at full float precision.
+    return json.dumps(dataclasses.asdict(result), sort_keys=True)
+
+
+@pytest.mark.parametrize("simulator", ["fluid", "minibatch"])
+def test_empty_schedules_are_byte_identical_to_omitted(simulator):
+    baseline = snapshot(run(simulator))
+    for empty in EMPTY_FORMS:
+        assert snapshot(run(simulator, faults=empty)) == baseline
+
+
+@pytest.mark.parametrize("simulator", ["fluid", "minibatch"])
+def test_empty_schedule_emits_no_fault_events(simulator):
+    tracer = Tracer()
+    run(simulator, faults=FaultSchedule(), tracer=tracer)
+    assert not any(
+        e.etype.startswith(("fault_", "node_"))
+        or e.etype in ("cache_invalidate", "job_preempt", "job_restart")
+        for e in tracer.events
+    )
+    assert tracer.metrics.counter("faults.injected") == 0

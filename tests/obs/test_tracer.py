@@ -39,6 +39,16 @@ def _emit_one_of_each(tracer):
         4.0, "j1", desired_mbps=20.0, hit_ratio=0.3,
         demand_mbps=14.0, grant_mbps=10.0,
     )
+    tracer.fault_inject(4.5, kind="server_crash", target="", magnitude=1.0)
+    tracer.node_down(4.5, kind="server", gpus_lost=8.0, cache_lost_mb=64.0)
+    tracer.cache_invalidate(
+        4.5, "d", delta_mb=5.0, resident_mb=25.0, cause="server_crash"
+    )
+    tracer.job_preempt(
+        4.5, "j1", reason="server_crash", rollback_mb=10.0, epoch=1
+    )
+    tracer.node_up(4.8, kind="server", gpus_restored=8.0, cache_restored_mb=64.0)
+    tracer.job_restart(4.8, "j1", reason="job_restart", epoch=1)
     tracer.job_finish(5.0, "j1", jct_s=5.0, epochs_done=1)
 
 

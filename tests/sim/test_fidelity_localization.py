@@ -1,0 +1,141 @@
+"""Fidelity auto-localization: where do the two simulators first diverge?
+
+When the fluid-vs-minibatch error is large, ``localize_divergence`` diffs
+the two structured event logs on their shared anchor sequence (lifecycle,
+epoch boundaries, fault preempts/restarts) and reports the earliest
+disagreeing event per job.
+"""
+
+import pytest
+
+from repro import units
+from repro.analysis.fidelity import (
+    DivergencePoint,
+    compare_simulators,
+    localize_divergence,
+)
+from repro.cluster.dataset import Dataset
+from repro.cluster.hardware import Cluster
+from repro.faults import FaultEvent
+from repro.obs.events import Event
+from repro.workloads.models import make_job
+
+pytestmark = pytest.mark.faults
+
+
+def _log(*specs):
+    """Build a synthetic event log from (ts, etype, job_id, fields)."""
+    return [
+        Event(ts_s=ts, etype=etype, job_id=job_id, fields=dict(fields))
+        for ts, etype, job_id, fields in specs
+    ]
+
+
+def _clean_log():
+    return _log(
+        (0.0, "job_submit", "j1", {}),
+        (0.0, "job_start", "j1", {}),
+        (10.0, "epoch_boundary", "j1", {"epoch": 1}),
+        (20.0, "epoch_boundary", "j1", {"epoch": 2}),
+        (20.0, "job_finish", "j1", {}),
+    )
+
+
+def test_identical_logs_have_no_divergence():
+    assert localize_divergence(_clean_log(), _clean_log()) is None
+
+
+def test_timestamps_are_not_compared():
+    shifted = [
+        Event(e.ts_s + 37.0, e.etype, e.job_id, dict(e.fields))
+        for e in _clean_log()
+    ]
+    assert localize_divergence(_clean_log(), shifted) is None
+
+
+def test_tampered_epoch_is_localized():
+    tampered = _clean_log()
+    tampered[3] = Event(20.0, "epoch_boundary", "j1", {"epoch": 99})
+    point = localize_divergence(_clean_log(), tampered)
+    assert isinstance(point, DivergencePoint)
+    assert point.job_id == "j1"
+    assert point.index == 3
+    assert point.fluid_event.fields["epoch"] == 2
+    assert point.emulator_event.fields["epoch"] == 99
+    assert "epoch=2" in point.describe()
+    assert "epoch=99" in point.describe()
+
+
+def test_truncated_sequence_is_localized():
+    point = localize_divergence(_clean_log(), _clean_log()[:3])
+    assert point is not None
+    assert point.index == 3
+    assert point.emulator_event is None
+    assert "<no event>" in point.describe()
+
+
+def test_earliest_diverging_job_wins():
+    # j1 diverges at t=20, j2 already at t=5.
+    fluid = _clean_log() + _log(
+        (2.0, "job_submit", "j2", {}),
+        (5.0, "job_start", "j2", {}),
+    )
+    emulator = _clean_log()[:3] + _log(
+        (2.0, "job_submit", "j2", {}),
+    )
+    point = localize_divergence(fluid, emulator)
+    assert point.job_id == "j2"
+    assert point.index == 1
+    assert point.fluid_event.etype == "job_start"
+
+
+def test_compare_simulators_localizes_real_runs():
+    cluster = Cluster.build(
+        num_servers=2,
+        gpus_per_server=4,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=units.gbps(1.6),
+    )
+    jobs = [
+        make_job(
+            "job-a",
+            "resnet50",
+            Dataset(name="d-a", size_mb=units.gb(20)),
+            num_gpus=2,
+            num_epochs=3,
+            submit_time_s=0.0,
+        )
+    ]
+    report = compare_simulators(
+        cluster,
+        "fifo",
+        "silod",
+        jobs,
+        faults=[FaultEvent(150.0, "server_crash", magnitude=1)],
+        localize=True,
+    )
+    # The anchor sequences are required to agree even under faults, so
+    # localization on healthy simulators reports no divergence.
+    assert report.divergence is None
+    assert report.jct_error == pytest.approx(0.0, abs=0.25)
+
+
+def test_compare_simulators_without_localize_keeps_divergence_none():
+    cluster = Cluster.build(
+        num_servers=1,
+        gpus_per_server=2,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=units.gbps(1.6),
+    )
+    jobs = [
+        make_job(
+            "job-a",
+            "resnet50",
+            Dataset(name="d-a", size_mb=units.gb(10)),
+            num_gpus=2,
+            num_epochs=2,
+            submit_time_s=0.0,
+        )
+    ]
+    report = compare_simulators(cluster, "fifo", "silod", jobs)
+    assert report.divergence is None

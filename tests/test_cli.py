@@ -116,6 +116,62 @@ def test_run_minibatch_simulator(tmp_path, capsys):
     assert "3/3" in capsys.readouterr().out
 
 
+def test_run_with_fault_schedule_and_fault_timeline_report(
+    tmp_path, capsys
+):
+    import json
+
+    trace_path = tmp_path / "t.jsonl"
+    faults_path = tmp_path / "faults.json"
+    events_path = tmp_path / "ev.jsonl"
+    main(["trace", str(trace_path), "--jobs", "4", "--seed", "9",
+          "--gpus", "8", "--duration-median-min", "20"])
+    faults_path.write_text(json.dumps({
+        "faults": [
+            {"time_s": 600.0, "kind": "server_crash", "magnitude": 1},
+            {"time_s": 3600.0, "kind": "server_recover", "magnitude": 1},
+        ],
+    }))
+    code = main([
+        "run", str(trace_path), "--gpus", "8", "--gpus-per-server", "4",
+        "--egress-gbps", "1.6", "--cache-per-gpu-gb", "64",
+        "--faults", str(faults_path), "--events", str(events_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault schedule: 2 events" in out
+
+    code = main(["report", str(events_path), "--bins", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault timeline" in out
+    assert "server_crash" in out
+
+
+def test_run_with_churn_seed(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    main(["trace", str(trace_path), "--jobs", "3", "--seed", "5",
+          "--gpus", "8", "--duration-median-min", "10"])
+    code = main([
+        "run", str(trace_path), "--gpus", "8", "--egress-gbps", "1.6",
+        "--cache-per-gpu-gb", "64", "--churn-seed", "7",
+        "--churn-hours", "48",
+    ])
+    assert code == 0
+    assert "fault schedule:" in capsys.readouterr().out
+
+
+def test_faults_and_churn_seed_are_mutually_exclusive(tmp_path):
+    trace_path = tmp_path / "t.jsonl"
+    main(["trace", str(trace_path), "--jobs", "3", "--seed", "5",
+          "--gpus", "8", "--duration-median-min", "10"])
+    with pytest.raises(SystemExit):
+        main([
+            "run", str(trace_path), "--gpus", "8",
+            "--faults", "whatever.json", "--churn-seed", "7",
+        ])
+
+
 def test_report_rejects_non_event_files(tmp_path):
     bogus = tmp_path / "bogus.jsonl"
     bogus.write_text('{"kind": "not-events"}\n')

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Check docs/OBSERVABILITY.md against the implemented event schema.
+"""Check docs/OBSERVABILITY.md and docs/FAULTS.md against the code.
 
 The event schema has two sources: ``repro.obs.events`` (what the code
 emits and validates) and ``docs/OBSERVABILITY.md`` (what operators read).
@@ -7,6 +7,12 @@ This script parses the doc's ``### `event_type` `` headings and the
 first column of each field table and fails — exit code 1, with a
 per-drift message — whenever either side documents an event type or a
 field the other does not have.
+
+The fault subsystem gets the same treatment: every fault kind in
+``repro.faults.FAULT_KINDS`` must have a ``### `kind` `` section in
+``docs/FAULTS.md``, and every fault event type
+(``repro.obs.events.FAULT_TYPES``) must be mentioned there, so the spec
+reference cannot silently fall behind the engine.
 
 Run directly (``python tools/check_obs_docs.py``) or via the tier-1
 test ``tests/obs/test_docs_consistency.py``.
@@ -20,6 +26,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+FAULTS_DOC_PATH = REPO_ROOT / "docs" / "FAULTS.md"
 
 _HEADING = re.compile(r"^### `(?P<name>[a-z_]+)`\s*$")
 _TABLE_ROW = re.compile(r"^\| `(?P<field>[a-z_]+)` \|")
@@ -78,21 +85,58 @@ def compare(doc_schema: dict, code_fields: dict) -> list:
     return problems
 
 
+def check_faults_doc(
+    text: str, fault_kinds: list, fault_types: list
+) -> list:
+    """Drift messages for docs/FAULTS.md vs the fault subsystem."""
+    problems = []
+    headings = {
+        m.group("name")
+        for m in (_HEADING.match(line) for line in text.splitlines())
+        if m
+    }
+    for kind in fault_kinds:
+        if kind not in headings:
+            problems.append(
+                f"fault kind {kind!r} is implemented but has no "
+                f"'### `{kind}`' section in docs/FAULTS.md"
+            )
+    for etype in fault_types:
+        if f"`{etype}`" not in text:
+            problems.append(
+                f"fault event type {etype!r} is never mentioned in "
+                f"docs/FAULTS.md"
+            )
+    return problems
+
+
 def main() -> int:
     """Run the check; print drift and return the exit code."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.obs.events import EVENT_FIELDS
+    from repro.faults.spec import FAULT_KINDS
+    from repro.obs.events import EVENT_FIELDS, FAULT_TYPES
 
     doc_schema = parse_doc_schema(DOC_PATH.read_text())
     code_fields = {k: list(v) for k, v in EVENT_FIELDS.items()}
     problems = compare(doc_schema, code_fields)
+    if not FAULTS_DOC_PATH.exists():
+        problems.append("docs/FAULTS.md is missing")
+    else:
+        problems.extend(
+            check_faults_doc(
+                FAULTS_DOC_PATH.read_text(),
+                list(FAULT_KINDS),
+                list(FAULT_TYPES),
+            )
+        )
     if problems:
         for problem in problems:
             print(f"DRIFT: {problem}", file=sys.stderr)
         return 1
     print(
         f"docs/OBSERVABILITY.md in sync: {len(code_fields)} event types, "
-        f"{sum(len(v) for v in code_fields.values())} fields"
+        f"{sum(len(v) for v in code_fields.values())} fields; "
+        f"docs/FAULTS.md in sync: {len(FAULT_KINDS)} fault kinds"
     )
     return 0
 
