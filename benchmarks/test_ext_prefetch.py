@@ -37,7 +37,7 @@ def burst_trace():
             make_job(
                 f"vlad-{i}",
                 "vlad",
-                synthetic_images(f"video-{i}", size_tb=0.3),
+                synthetic_images(f"video-{i}", size_mb=units.tb(0.3)),
                 num_gpus=1,
                 duration_at_ideal_s=5 * 3600.0,
             )
@@ -47,7 +47,7 @@ def burst_trace():
             make_job(
                 f"resnet-{i}",
                 "resnet50",
-                synthetic_images(f"images-{i}", size_tb=0.3),
+                synthetic_images(f"images-{i}", size_mb=units.tb(0.3)),
                 num_gpus=1,
                 num_epochs=4,
                 submit_time_s=60.0,

@@ -62,12 +62,12 @@ def demo_prefetch() -> None:
     cluster = Cluster.build(4, 4, 4 * units.gb(368.0), units.gbps(1.6))
     jobs = [
         make_job(f"vlad-{i}", "vlad",
-                 synthetic_images(f"video-{i}", size_tb=0.3),
+                 synthetic_images(f"video-{i}", size_mb=units.tb(0.3)),
                  num_gpus=1, duration_at_ideal_s=4 * 3600.0)
         for i in range(16)
     ] + [
         make_job(f"resnet-{i}", "resnet50",
-                 synthetic_images(f"images-{i}", size_tb=0.3),
+                 synthetic_images(f"images-{i}", size_mb=units.tb(0.3)),
                  num_gpus=1, num_epochs=4, submit_time_s=60.0)
         for i in range(4)
     ]
@@ -96,7 +96,7 @@ def demo_faults() -> None:
     cluster = Cluster.build(2, 1, 60.0 * units.gb(1.0), 50.0)
     jobs = [
         make_job(f"j{i}", "efficientnet-b1",
-                 synthetic_images(f"f-{i}", size_tb=0.04), num_epochs=4)
+                 synthetic_images(f"f-{i}", size_mb=units.tb(0.04)), num_epochs=4)
         for i in range(2)
     ]
     rows = []

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from typing import Hashable, Iterable, Optional, Set
+from typing import Hashable, Iterable, Set
 
 
 class UniformItemCache:
@@ -27,16 +27,25 @@ class UniformItemCache:
     admits it otherwise while capacity remains; cached items are never
     replaced (§2.2: "there is no eviction unless the cache capacity is
     reduced").
+
+    ``rng`` drives the random evictions on :meth:`resize` and is
+    *required*: every caller must seed it explicitly (e.g.
+    ``random.Random(seed)``) so eviction streams are reproducible —
+    an implicit fallback here was the determinism pass's first real
+    catch (``DET001``, see ``docs/LINT.md``).
     """
 
-    def __init__(
-        self, capacity: int, rng: Optional[random.Random] = None
-    ) -> None:
+    def __init__(self, capacity: int, rng: random.Random) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        if rng is None:
+            raise ValueError(
+                "rng is required: pass an explicitly seeded "
+                "random.Random so evictions are reproducible"
+            )
         self._capacity = capacity
         self._items: Set[Hashable] = set()
-        self._rng = rng or random.Random(0)
+        self._rng = rng
 
     @property
     def capacity(self) -> int:
@@ -66,7 +75,10 @@ class UniformItemCache:
         self._capacity = capacity
         excess = len(self._items) - capacity
         if excess > 0:
-            victims = self._rng.sample(sorted(self._items, key=hash), excess)
+            # Sort by repr, not hash: builtin hash() is salted per
+            # process for strings, which would change the victim set
+            # from run to run even under the same seed.
+            victims = self._rng.sample(sorted(self._items, key=repr), excess)
             self._items.difference_update(victims)
 
     def snapshot(self) -> Set[Hashable]:

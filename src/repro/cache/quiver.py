@@ -26,6 +26,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro import units
 from repro.cache.base import (
     CacheSystem,
     StorageContext,
@@ -55,7 +56,7 @@ class QuiverCache(CacheSystem):
     def __init__(
         self,
         profile_noise: float = 0.15,
-        profile_interval_s: float = 3600.0,
+        profile_interval_s: float = units.SECONDS_PER_HOUR,
         hysteresis: float = 1.5,
         seed: int = 17,
     ) -> None:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the end-to-end workflow:
+Six subcommands cover the end-to-end workflow:
 
 * ``trace``     — generate a synthetic trace (JSON Lines) and print its
   summary statistics;
@@ -12,7 +12,9 @@ Five subcommands cover the end-to-end workflow:
 * ``estimate``  — evaluate the closed-form SiloDPerf model for a single
   allocation (a calculator for Eq 4 / Eq 5);
 * ``report``    — render timeline / scheduler-audit / cache tables from
-  an event log written by ``run --events``.
+  an event log written by ``run --events``;
+* ``lint``      — run the AST-based invariant linter (``repro.lint``)
+  over the source tree (see ``docs/LINT.md``).
 
 See ``docs/CLI.md`` for worked invocations and ``docs/OBSERVABILITY.md``
 for the event schema.
@@ -29,6 +31,7 @@ from repro.analysis.tables import render_table
 from repro.cluster.hardware import Cluster
 from repro.core import perf_model
 from repro.faults import FaultSchedule, generate_churn
+from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.obs import (
     Tracer,
     load_events,
@@ -85,7 +88,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     config = TraceConfig(
         num_jobs=args.jobs,
         seed=args.seed,
-        duration_median_s=args.duration_median_min * 60.0,
+        duration_median_s=units.minutes(args.duration_median_min),
         shared_dataset_fraction=args.sharing,
     )
     config.mean_interarrival_s = arrival_rate_for_load(
@@ -110,7 +113,7 @@ def _build_fault_schedule(
     if args.churn_seed is not None:
         return generate_churn(
             seed=args.churn_seed,
-            duration_s=args.churn_hours * 3600.0,
+            duration_s=units.hours(args.churn_hours),
             num_servers=len(cluster.servers),
             total_cache_mb=cluster.total_cache_mb,
         )
@@ -410,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the binned timeline as CSV",
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the invariant linter (repro.lint)"
+    )
+    configure_lint_parser(p_lint)
     return parser
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List
 
+from repro import units
+
 
 @dataclasses.dataclass
 class RemoteStorage:
@@ -133,15 +135,22 @@ def peer_read_scaling_series(
         rows.append(
             {
                 "servers": n,
-                "linear_gbps": n * io_demand_per_server_mbps / 1024.0,
-                "local_read_gbps": local_read_throughput(
-                    n, io_demand_per_server_mbps, local_disk_mbps
-                )
-                / 1024.0,
-                "peer_read_gbps": peer_read_throughput(
-                    n, io_demand_per_server_mbps, local_disk_mbps, fabric_mbps
-                )
-                / 1024.0,
+                "linear_gbps": units.mb_to_gb(
+                    n * io_demand_per_server_mbps
+                ),
+                "local_read_gbps": units.mb_to_gb(
+                    local_read_throughput(
+                        n, io_demand_per_server_mbps, local_disk_mbps
+                    )
+                ),
+                "peer_read_gbps": units.mb_to_gb(
+                    peer_read_throughput(
+                        n,
+                        io_demand_per_server_mbps,
+                        local_disk_mbps,
+                        fabric_mbps,
+                    )
+                ),
             }
         )
     return rows

@@ -196,14 +196,14 @@ class GavelPolicy(SchedulingPolicy):
             share = equal_share(
                 job, len(jobs), total, ctx.estimator, ctx.storage_aware
             )
-            if job.weight != 1.0:
-                share = EqualShare(
-                    gpus=share.gpus,
-                    cache_mb=share.cache_mb,
-                    remote_io_mbps=share.remote_io_mbps,
-                    perf_mbps=share.perf_mbps * job.weight,
-                )
-            shares[job.job_id] = share
+            # Scaling by weight 1.0 is the identity, so the weighted
+            # share is built unconditionally (no float-equality test).
+            shares[job.job_id] = EqualShare(
+                gpus=share.gpus,
+                cache_mb=share.cache_mb,
+                remote_io_mbps=share.remote_io_mbps,
+                perf_mbps=share.perf_mbps * job.weight,
+            )
         return shares
 
     # ------------------------------------------------------------------

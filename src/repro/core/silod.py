@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Sequence
 
+from repro import units
 from repro.cluster.job import Job
 from repro.core.estimator import SiloDPerfEstimator
 from repro.core.policies.base import ScheduleContext, SchedulingPolicy
@@ -74,6 +75,10 @@ class SiloDScheduler:
         allocations.
         """
         tracer = self.tracer
+        # Wall-clock by design: ``latency_ms`` reports the *real* cost of
+        # a decision round, not simulated time; it never feeds back into
+        # scheduling, so determinism of the run is unaffected.
+        # lint: disable=DET003
         t0 = time.perf_counter() if tracer.enabled else 0.0
         regular = [j for j in jobs if j.regular]
         irregular = [j for j in jobs if not j.regular]
@@ -107,7 +112,9 @@ class SiloDScheduler:
                 gpus_granted=sum(allocation.gpus.values()),
                 cache_granted_mb=sum(allocation.cache.values()),
                 io_granted_mbps=sum(allocation.remote_io.values()),
-                latency_ms=(time.perf_counter() - t0) * 1000.0,
+                latency_ms=units.seconds_to_ms(
+                    time.perf_counter() - t0  # lint: disable=DET003
+                ),
             )
         return allocation
 

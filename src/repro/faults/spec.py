@@ -24,6 +24,8 @@ import json
 import random
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
+from repro import units
+
 #: Every fault kind a schedule may contain, in documentation order
 #: (``docs/FAULTS.md`` documents each under a ``### `kind` `` heading;
 #: ``tools/check_obs_docs.py`` enforces that).
@@ -190,10 +192,10 @@ def generate_churn(
     duration_s: float,
     num_servers: int,
     total_cache_mb: float = 0.0,
-    crash_interval_s: float = 6 * 3600.0,
+    crash_interval_s: float = units.hours(6.0),
     repair_time_s: float = 1800.0,
-    bandwidth_flap_interval_s: float = 12 * 3600.0,
-    bandwidth_flap_duration_s: float = 3600.0,
+    bandwidth_flap_interval_s: float = units.hours(12.0),
+    bandwidth_flap_duration_s: float = units.SECONDS_PER_HOUR,
     bandwidth_floor: float = 0.25,
     cache_loss_interval_s: float = 0.0,
     cache_loss_fraction: float = 0.1,

@@ -1,0 +1,37 @@
+"""Small AST helpers shared by the lint passes."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The dotted source form of a Name/Attribute chain, else ``None``.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``;
+    anything with a non-name link (calls, subscripts) returns ``None``.
+    """
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee (``None`` for dynamic callees)."""
+    return dotted_name(node.func)
+
+
+def is_constant_number(node: ast.AST) -> bool:
+    """True for int/float literals (bools excluded)."""
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )

@@ -1,0 +1,88 @@
+"""The checked-in lint baseline: known findings tolerated for now.
+
+A baseline lets the linter land with teeth while a violation backlog is
+burned down: recorded findings are filtered out of the report, *new*
+findings still fail the build, and ``--strict`` additionally fails when
+the baseline contains entries that no longer fire (so it can only
+shrink). The repo's baseline (``tools/lint_baseline.json``) is empty —
+the acceptance bar for this reproduction — but the mechanism is kept
+for downstream forks.
+
+Matching is line-insensitive (see :meth:`Finding.key`): moving code
+around a recorded violation does not invalidate the baseline, changing
+the violation's file, rule, or message does.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+#: Schema version written into baseline files.
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of tolerated findings, loadable from/savable to JSON."""
+
+    def __init__(self, findings: Sequence[Finding] = ()) -> None:
+        self._counts: Counter = Counter(f.key() for f in findings)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        findings = [
+            Finding(
+                path=entry["path"],
+                line=int(entry.get("line", 0)),
+                rule=entry["rule"],
+                message=entry["message"],
+            )
+            for entry in data.get("findings", [])
+        ]
+        return cls(findings)
+
+    @staticmethod
+    def save(path: Path, findings: Sequence[Finding]) -> None:
+        """Write ``findings`` as a baseline file (sorted, stable JSON)."""
+        payload = {
+            "version": _VERSION,
+            "findings": [f.to_dict() for f in sorted(findings)],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Tuple[str, str, str]]]:
+        """Split findings into (new, stale-baseline-keys).
+
+        Each baseline entry absorbs at most as many findings as were
+        recorded for its key; the remainder is returned as *new*.
+        Baseline keys that absorbed nothing come back as *stale* so
+        ``--strict`` can force their removal.
+        """
+        remaining = Counter(self._counts)
+        new: List[Finding] = []
+        for finding in findings:
+            key = finding.key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                new.append(finding)
+        stale = sorted(
+            key for key, count in remaining.items() if count > 0
+        )
+        return new, stale

@@ -1,0 +1,187 @@
+"""The lint engine: source discovery, suppressions, and the pass runner.
+
+The engine is deliberately dumb: it finds ``.py`` files, parses each
+one once into an :class:`ast.Module`, hands the parsed
+:class:`SourceFile` to every registered pass, and filters the returned
+findings through the inline-suppression table. All analysis lives in
+the passes (:mod:`repro.lint.passes`).
+
+Suppression syntax
+------------------
+``# lint: disable=RULE`` (or ``disable=RULE1,RULE2`` / ``disable=all``)
+on the offending line silences those rules for that line; a
+comment-only line applies to the next source line, so multi-clause
+statements can carry an explanation::
+
+    # Wall-clock is intentional here: latency_ms measures real time.
+    # lint: disable=DET003
+    t0 = time.perf_counter()
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.lint.findings import Finding
+
+#: ``# lint: disable=DET001,UNI002`` — case-sensitive rule ids, or
+#: the wildcard ``all``.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Wildcard accepted in a disable list.
+_ALL = "all"
+
+
+def default_target() -> Path:
+    """The tree linted when no paths are given: the ``repro`` package."""
+    return Path(__file__).resolve().parent.parent
+
+
+def repo_root() -> Path:
+    """Best-effort repository root (``src/repro`` -> two levels up)."""
+    return default_target().parent.parent
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {
+            token.strip()
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        target = lineno
+        if line.lstrip().startswith("#"):
+            # A standalone comment shields the line below it.
+            target = lineno + 1
+        table.setdefault(target, set()).update(rules)
+    return table
+
+
+class SourceFile:
+    """One parsed source file plus its inline-suppression table."""
+
+    def __init__(self, path: Path, display_root: Path) -> None:
+        self.path = path
+        self.rel_path = _display_path(path, display_root)
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.tree = ast.parse(self.text, filename=str(path))
+        self.suppressions = _parse_suppressions(self.lines)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is disabled on ``line`` by an inline comment."""
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return rule in rules or _ALL in rules
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s source line."""
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            rule=rule,
+            message=message,
+        )
+
+
+def _display_path(path: Path, display_root: Path) -> str:
+    """Repo-relative POSIX path when possible, absolute otherwise."""
+    resolved = path.resolve()
+    for root in (display_root.resolve(), Path.cwd().resolve()):
+        try:
+            return resolved.relative_to(root).as_posix()
+        except ValueError:
+            continue
+    return resolved.as_posix()
+
+
+class LintPass(abc.ABC):
+    """Base class for one analysis pass.
+
+    A pass declares the rule ids it can emit (``rules``) and implements
+    :meth:`run`, returning findings for one file. Passes must be
+    stateless across files so the engine can run them in any order.
+    """
+
+    #: Short machine name used by ``--select`` (e.g. ``determinism``).
+    name: str = "pass"
+
+    #: The rule ids this pass can emit.
+    rules: Sequence[str] = ()
+
+    @abc.abstractmethod
+    def run(self, src: SourceFile) -> List[Finding]:
+        """Analyse one file and return its findings (may be empty)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Directories are walked recursively for ``*.py``; ``__pycache__``
+    and hidden directories are skipped.
+    """
+    seen: Set[Path] = set()
+    result: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            parts = candidate.parts
+            if "__pycache__" in parts:
+                continue
+            if any(p.startswith(".") and len(p) > 1 for p in parts[1:]):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                result.append(candidate)
+    return result
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    passes: Sequence[LintPass],
+    display_root: Path = None,
+) -> List[Finding]:
+    """Run ``passes`` over ``paths`` and return sorted, unsuppressed findings.
+
+    Unparseable files yield a single ``PAR001`` finding instead of
+    aborting the run, so one syntax error cannot hide every other
+    diagnostic.
+    """
+    if display_root is None:
+        display_root = repo_root()
+    findings: List[Finding] = []
+    for path in discover_files(paths):
+        try:
+            src = SourceFile(path, display_root)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    path=_display_path(path, display_root),
+                    line=getattr(exc, "lineno", None) or 1,
+                    rule="PAR001",
+                    message=f"cannot parse: {exc.__class__.__name__}",
+                )
+            )
+            continue
+        for lint_pass in passes:
+            for finding in lint_pass.run(src):
+                if not src.is_suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+    return sorted(findings)

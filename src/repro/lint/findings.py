@@ -1,0 +1,83 @@
+"""Findings and the rule catalogue.
+
+A :class:`Finding` is one diagnostic: ``(file, line, rule-id, message)``.
+Rule ids are stable, grep-able handles (``DET001``, ``UNI002``, ...);
+the catalogue below is the single source of truth for which ids exist
+and what they mean — ``docs/LINT.md`` documents the same table for
+humans, and the CLI's ``--list-rules`` prints it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+#: Every rule id with its one-line description, grouped by pass prefix.
+#: ``DET`` — determinism, ``UNI`` — units, ``FLT`` — float equality,
+#: ``OBS`` — event-schema conformance, ``POL`` — policy interface,
+#: ``PAR`` — the engine's own parse-failure diagnostic.
+RULES: Dict[str, str] = {
+    "PAR001": "file could not be parsed as Python source",
+    "DET001": "unseeded RNG constructor (random.Random() / "
+    "np.random.default_rng() with no seed)",
+    "DET002": "use of the global `random` module state (module-level "
+    "calls or `from random import <function>`)",
+    "DET003": "wall-clock read (time.time / time.perf_counter / "
+    "datetime.now) in simulation code",
+    "DET004": "iteration over a set literal / set() value "
+    "(order is salted per process)",
+    "DET005": "builtin hash() (salted per process for str/bytes; use a "
+    "stable digest such as zlib.crc32)",
+    "UNI001": "magic unit-conversion constant outside repro.units "
+    "(e.g. * 1024, * 125.0, / 8, / 60.0)",
+    "UNI002": "public numeric parameter with a non-canonical unit "
+    "suffix (use _mb / _mbps / _s / _gpus)",
+    "FLT001": "== / != between float-typed expressions "
+    "(event-time and unit-carrying values)",
+    "OBS001": "emitted event type is not declared in repro.obs.events",
+    "OBS002": "emitted event fields do not match the declared schema",
+    "OBS003": "repro.obs.events schema is internally inconsistent "
+    "(EVENT_TYPES vs EVENT_FIELDS drift)",
+    "POL001": "policy class does not implement the SchedulingPolicy "
+    "interface (schedule() and a `name` attribute)",
+    "POL002": "policy module imports simulator internals (repro.sim)",
+    "POL003": "policy code reaches into another object's private "
+    "attributes",
+}
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a lint pass.
+
+    ``path`` is repo-relative (POSIX separators) so findings are stable
+    across machines; ``line`` is 1-based. Findings sort by
+    ``(path, line, rule, message)``, which gives reports and baselines a
+    deterministic order.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-insensitive identity used for baseline matching.
+
+        Dropping the line number keeps a recorded baseline valid while
+        unrelated edits shift code around the violation.
+        """
+        return (self.path, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The human-readable one-liner: ``path:line: RULE message``."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"

@@ -1,0 +1,56 @@
+"""The pass registry.
+
+Every shipped pass is listed in :data:`ALL_PASSES`; ``build_passes``
+instantiates the selection the CLI asked for. Adding a pass is three
+steps (see ``docs/LINT.md``): write a :class:`~repro.lint.engine.LintPass`
+subclass in a new module here, register its rule ids in
+:data:`repro.lint.findings.RULES`, and append the class to
+:data:`ALL_PASSES`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type
+
+from repro.lint.engine import LintPass
+from repro.lint.passes.determinism import DeterminismPass
+from repro.lint.passes.floateq import FloatEqualityPass
+from repro.lint.passes.obs_schema import ObsSchemaPass
+from repro.lint.passes.policy import PolicyConformancePass
+from repro.lint.passes.units import UnitsPass
+
+#: Every shipped pass, in report order.
+ALL_PASSES: Sequence[Type[LintPass]] = (
+    DeterminismPass,
+    UnitsPass,
+    FloatEqualityPass,
+    ObsSchemaPass,
+    PolicyConformancePass,
+)
+
+
+def build_passes(
+    select: Optional[Sequence[str]] = None,
+) -> List[LintPass]:
+    """Instantiate the selected passes (all of them by default).
+
+    ``select`` filters by pass name (``determinism``, ``units``, ...)
+    or by rule-id prefix (``DET``, ``UNI001``). Unknown selectors raise
+    ``ValueError`` so typos fail loudly.
+    """
+    if not select:
+        return [cls() for cls in ALL_PASSES]
+    chosen: List[LintPass] = []
+    unmatched = list(select)
+    for cls in ALL_PASSES:
+        instance = cls()
+        for token in select:
+            if token == instance.name or any(
+                rule.startswith(token) for rule in instance.rules
+            ):
+                chosen.append(instance)
+                unmatched = [t for t in unmatched if t != token]
+                break
+    if unmatched:
+        raise ValueError(f"unknown pass/rule selector(s): {unmatched}")
+    return chosen

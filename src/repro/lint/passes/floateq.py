@@ -1,0 +1,87 @@
+"""Float-equality pass: ``==`` on event times and unit-carrying floats.
+
+Event-time logic compares simulated clocks, byte counts, and bandwidth
+shares — all accumulated floats, where exact equality silently turns
+into "never true" (or worse, "true on one simulator, false on the
+other") after a few additions. The codebase's idiom is an explicit
+epsilon (``a < b - 1e-9``) or a tolerance helper.
+
+``FLT001`` fires on an ``==`` / ``!=`` comparison when either operand
+is a float literal (``x == 1.0``) or a name/attribute carrying a
+float-unit suffix (``_s``, ``_mb``, ``_mbps``, ``_ms``, ``_ratio``) or
+a known clock name (``ts_s``, ``now_s``, ``clock_s``, ``time_s``).
+Integer literals and unsuffixed names are left alone, so sentinel
+checks on counts stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.engine import LintPass, SourceFile
+from repro.lint.findings import Finding
+
+#: Name endings that mark a value as a float quantity by convention.
+_FLOAT_SUFFIXES = ("_s", "_mb", "_mbps", "_ms", "_ratio")
+
+#: Bare names that are simulated clocks.
+_CLOCK_NAMES = {"ts_s", "now_s", "clock_s", "time_s"}
+
+
+def _float_reason(node: ast.AST) -> Optional[str]:
+    """Why this operand is float-typed, or ``None`` if it is not."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return None
+    if name in _CLOCK_NAMES:
+        return f"clock value {name!r}"
+    for suffix in _FLOAT_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return f"unit-suffixed value {name!r}"
+    return None
+
+
+class FloatEqualityPass(LintPass):
+    """Flag exact equality between float-typed expressions."""
+
+    name = "floateq"
+    rules = ("FLT001",)
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        """Scan every comparison chain in the file."""
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                reasons = [
+                    r
+                    for r in (
+                        _float_reason(operands[i]),
+                        _float_reason(operands[i + 1]),
+                    )
+                    if r
+                ]
+                if not reasons:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                findings.append(
+                    src.finding(
+                        node,
+                        "FLT001",
+                        f"exact {symbol} on {reasons[0]}; compare with "
+                        "an explicit tolerance (abs(a - b) < 1e-9) or "
+                        "restructure to avoid float equality",
+                    )
+                )
+        return findings

@@ -1,0 +1,194 @@
+"""Obs-schema pass: every emitted event must match ``repro.obs.events``.
+
+The structured event log is a contract (``docs/OBSERVABILITY.md``);
+``tools/check_obs_docs.py`` keeps the *docs* in sync with the schema,
+and this pass keeps the *emitting code* in sync — the code-side half of
+that check, absorbed into the linter so it runs with every other
+invariant.
+
+* ``OBS001`` — an ``emit(...)`` call whose event type (string literal
+  or ``ev.CONSTANT``) is not declared in
+  :data:`repro.obs.events.EVENT_FIELDS`;
+* ``OBS002`` — an emit (or typed-helper call on a tracer) whose keyword
+  fields do not match the declared field set;
+* ``OBS003`` — ``EVENT_TYPES`` and ``EVENT_FIELDS`` disagreeing with
+  each other inside ``events.py`` itself.
+
+Dynamic event types (a variable holding the type) are skipped — the
+runtime validator (:func:`repro.obs.events.validate_event`) still
+covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import LintPass, SourceFile
+from repro.lint.findings import Finding
+
+#: Receiver spellings that mark a call as targeting a tracer. Typed
+#: helper calls (``tracer.cache_admit(...)``) are only field-checked on
+#: these receivers so an unrelated object with a same-named method is
+#: not flagged.
+_TRACER_RECEIVERS = {"tracer", "tr", "tracing"}
+
+
+def _schema():
+    """The live schema (imported lazily so the pass is cheap to build)."""
+    from repro.obs import events
+
+    return events
+
+
+def _receiver_is_tracer(func: ast.Attribute) -> bool:
+    """Heuristic: is the attribute's receiver a tracer object?"""
+    name = dotted_name(func.value)
+    if name is None:
+        return False
+    last = name.split(".")[-1]
+    return (
+        last in _TRACER_RECEIVERS
+        or last.endswith("_tracer")
+        or last == "self"
+    )
+
+
+class ObsSchemaPass(LintPass):
+    """Check emit sites against the declared event schema."""
+
+    name = "obs-schema"
+    rules = ("OBS001", "OBS002", "OBS003")
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        """Scan emit calls; self-check the schema module itself."""
+        events = _schema()
+        findings: List[Finding] = []
+        if src.path.name == "events.py" and src.path.parent.name == "obs":
+            findings.extend(self._check_schema_consistency(src, events))
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "emit":
+                findings.extend(self._check_emit(src, node, events))
+            elif func.attr in events.EVENT_FIELDS and _receiver_is_tracer(
+                func
+            ):
+                findings.extend(
+                    self._check_helper_call(src, node, func.attr, events)
+                )
+        return findings
+
+    def _check_schema_consistency(
+        self, src: SourceFile, events
+    ) -> List[Finding]:
+        declared = set(events.EVENT_TYPES)
+        fielded = set(events.EVENT_FIELDS)
+        drift = sorted(declared.symmetric_difference(fielded))
+        if not drift:
+            return []
+        return [
+            Finding(
+                path=src.rel_path,
+                line=1,
+                rule="OBS003",
+                message=(
+                    "EVENT_TYPES and EVENT_FIELDS disagree on: "
+                    f"{', '.join(drift)}"
+                ),
+            )
+        ]
+
+    def _resolve_etype(self, node: ast.Call, events) -> Optional[str]:
+        """The event-type argument as a string, or ``None`` if dynamic."""
+        etype_arg = None
+        if len(node.args) >= 2:
+            etype_arg = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "etype":
+                etype_arg = kw.value
+        if etype_arg is None:
+            return None
+        if isinstance(etype_arg, ast.Constant) and isinstance(
+            etype_arg.value, str
+        ):
+            return etype_arg.value
+        if isinstance(etype_arg, (ast.Name, ast.Attribute)):
+            name = dotted_name(etype_arg)
+            if name is None:
+                return None
+            const = name.split(".")[-1]
+            value = getattr(events, const, None)
+            if isinstance(value, str):
+                return value
+            if const.isupper():
+                # Looks like a schema constant but is not one.
+                return const.lower()
+        return None
+
+    def _check_emit(
+        self, src: SourceFile, node: ast.Call, events
+    ) -> List[Finding]:
+        etype = self._resolve_etype(node, events)
+        if etype is None:
+            return []
+        expected = events.EVENT_FIELDS.get(etype)
+        if expected is None:
+            return [
+                src.finding(
+                    node,
+                    "OBS001",
+                    f"emit of undeclared event type {etype!r}; declare "
+                    "it in repro.obs.events.EVENT_FIELDS (and document "
+                    "it in docs/OBSERVABILITY.md)",
+                )
+            ]
+        if any(kw.arg is None for kw in node.keywords):
+            return []  # **kwargs: field set is dynamic, skip.
+        got = {
+            kw.arg
+            for kw in node.keywords
+            if kw.arg not in ("etype", "job_id", "ts_s")
+        }
+        missing = sorted(set(expected) - got)
+        extra = sorted(got - set(expected))
+        if not missing and not extra:
+            return []
+        return [
+            src.finding(
+                node,
+                "OBS002",
+                f"emit of {etype!r} does not match the schema: "
+                f"missing fields {missing}, extra fields {extra}",
+            )
+        ]
+
+    def _check_helper_call(
+        self, src: SourceFile, node: ast.Call, etype: str, events
+    ) -> List[Finding]:
+        if any(kw.arg is None for kw in node.keywords):
+            return []
+        expected = set(events.EVENT_FIELDS[etype])
+        got = {
+            kw.arg
+            for kw in node.keywords
+            if kw.arg not in ("job_id", "ts_s")
+        }
+        # Helpers may compute derived fields (io_throttle's ``capped``)
+        # and accept the rest positionally, so only unknown keywords are
+        # errors here.
+        extra = sorted(got - expected)
+        if not extra:
+            return []
+        return [
+            src.finding(
+                node,
+                "OBS002",
+                f"tracer.{etype}(...) passes fields {extra} that are "
+                f"not in the {etype!r} schema",
+            )
+        ]

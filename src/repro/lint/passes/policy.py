@@ -1,0 +1,214 @@
+"""Policy-conformance pass: plug-ins stay behind the policy API.
+
+Gavel-style policy plug-ins only compose safely when every policy is a
+well-behaved :class:`~repro.core.policies.base.SchedulingPolicy`: it
+implements ``schedule`` and declares a ``name``, and it talks to the
+rest of the system only through the public interface — never by
+importing a simulator or poking another object's privates.
+
+The pass applies to modules under ``core/policies`` and to any module
+that defines a ``SchedulingPolicy`` subclass:
+
+* ``POL001`` — a policy class that neither defines nor locally inherits
+  ``schedule`` / a ``name`` attribute;
+* ``POL002`` — an import of ``repro.sim`` (simulator internals) from
+  policy code;
+* ``POL003`` — an attribute access ``obj._private`` where ``obj`` is
+  not ``self``/``cls`` (reaching across an encapsulation boundary).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import LintPass, SourceFile
+from repro.lint.findings import Finding
+
+#: The interface base class policies must extend.
+_BASE_NAME = "SchedulingPolicy"
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    """Final path components of a class's base names."""
+    names = []
+    for base in cls.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _in_policies_package(src: SourceFile) -> bool:
+    """True for files under ``core/policies``."""
+    parts = src.path.parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "core" and parts[i + 1] == "policies":
+            return True
+    return False
+
+
+class PolicyConformancePass(LintPass):
+    """Check SchedulingPolicy subclasses and policy-module hygiene."""
+
+    name = "policy"
+    rules = ("POL001", "POL002", "POL003")
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        """Scan the module if it is policy code; no-op otherwise."""
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in src.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        policy_classes = _policy_closure(classes)
+        if not policy_classes and not _in_policies_package(src):
+            return []
+        findings: List[Finding] = []
+        findings.extend(self._check_imports(src))
+        for name in sorted(policy_classes):
+            findings.extend(
+                self._check_interface(src, classes, classes[name])
+            )
+        findings.extend(self._check_private_access(src))
+        return findings
+
+    def _check_imports(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            module = None
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[:2] == ["repro", "sim"]:
+                        module = alias.name
+                        break
+            if module and module.split(".")[:2] == ["repro", "sim"]:
+                findings.append(
+                    src.finding(
+                        node,
+                        "POL002",
+                        f"policy code imports {module!r}; policies must "
+                        "see the cluster only through ScheduleContext "
+                        "and the estimator",
+                    )
+                )
+        return findings
+
+    def _check_interface(
+        self,
+        src: SourceFile,
+        classes: Dict[str, ast.ClassDef],
+        cls: ast.ClassDef,
+    ) -> List[Finding]:
+        missing = []
+        if not _chain_defines(classes, cls, _defines_schedule):
+            missing.append("schedule()")
+        if not _chain_defines(classes, cls, _defines_name):
+            missing.append("a `name` attribute")
+        if not missing:
+            return []
+        return [
+            src.finding(
+                cls,
+                "POL001",
+                f"policy class {cls.name} is missing {' and '.join(missing)}"
+                "; every SchedulingPolicy must implement both",
+            )
+        ]
+
+    def _check_private_access(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            receiver = node.value
+            if isinstance(receiver, ast.Name) and receiver.id in (
+                "self",
+                "cls",
+            ):
+                continue
+            findings.append(
+                src.finding(
+                    node,
+                    "POL003",
+                    f"access to private attribute {attr!r} of "
+                    f"{dotted_name(receiver) or 'an expression'}; "
+                    "policies must use public interfaces only",
+                )
+            )
+        return findings
+
+
+def _policy_closure(classes: Dict[str, ast.ClassDef]) -> Set[str]:
+    """Names of classes whose local base chain reaches SchedulingPolicy."""
+    policies: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, cls in classes.items():
+            if name in policies:
+                continue
+            for base in _base_names(cls):
+                if base == _BASE_NAME or base in policies:
+                    policies.add(name)
+                    changed = True
+                    break
+    return policies
+
+
+def _chain_defines(
+    classes: Dict[str, ast.ClassDef],
+    cls: ast.ClassDef,
+    predicate,
+    seen: Optional[Set[str]] = None,
+) -> bool:
+    """Does ``cls`` or a module-local ancestor satisfy ``predicate``?
+
+    Non-local bases other than ``SchedulingPolicy`` are assumed to
+    provide the interface (cross-file resolution is out of scope and
+    permissiveness avoids false positives).
+    """
+    seen = seen or set()
+    if cls.name in seen:
+        return False
+    seen.add(cls.name)
+    if predicate(cls):
+        return True
+    for base in _base_names(cls):
+        if base == _BASE_NAME:
+            continue
+        parent = classes.get(base)
+        if parent is None:
+            return True  # imported base: assume conformant
+        if _chain_defines(classes, parent, predicate, seen):
+            return True
+    return False
+
+
+def _defines_schedule(cls: ast.ClassDef) -> bool:
+    """Does the class body define a ``schedule`` method?"""
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "schedule"
+        for item in cls.body
+    )
+
+
+def _defines_name(cls: ast.ClassDef) -> bool:
+    """Does the class body assign a ``name`` class attribute?"""
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "name":
+                    return True
+        elif isinstance(item, ast.AnnAssign):
+            target = item.target
+            if isinstance(target, ast.Name) and target.id == "name":
+                return True
+    return False

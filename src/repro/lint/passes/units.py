@@ -1,0 +1,183 @@
+"""Units pass: the MB / MB/s / seconds convention is machine-checked.
+
+The whole library speaks one unit language (:mod:`repro.units`): sizes
+in MB, bandwidth in MB/s, time in seconds. Conversions live in
+``units.py`` and nowhere else, and public numeric parameters advertise
+their unit in the name (``_mb`` / ``_mbps`` / ``_s`` / ``_gpus``).
+
+* ``UNI001`` — a multiplication/division by a known conversion constant
+  (1024, 1024², 125, 60, 3600, 86400, 604800, 1000, ``/ 8``) outside
+  ``units.py``: use the named helper (``units.gb``, ``units.gbps``,
+  ``units.hours``, ``units.seconds_to_minutes``, ...) so the conversion
+  is greppable and single-sourced.
+* ``UNI002`` — a public function parameter annotated ``float`` whose
+  name ends in a *non-canonical* unit suffix (``_gb``, ``_gbps``,
+  ``_ms``, ``_min``, ``_hours``, ...): convert at the boundary and pass
+  canonical units through the API instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.astutil import dotted_name, is_constant_number
+from repro.lint.engine import LintPass, SourceFile
+from repro.lint.findings import Finding
+
+#: Conversion factors that must not appear as bare literals in
+#: multiplications/divisions outside ``units.py``. Small round ints
+#: (60, 1000) are excluded to avoid flagging counts; their float forms
+#: are unambiguous conversions.
+_CONVERSION_CONSTANTS = {
+    1024,
+    1024.0,
+    1048576,
+    1048576.0,
+    125,
+    125.0,
+    60.0,
+    3600.0,
+    86400.0,
+    604800.0,
+    1000.0,
+}
+
+#: Literal divisors that read as bits->bytes conversions.
+_DIV_ONLY_CONSTANTS = {8, 8.0}
+
+#: Parameter-name suffixes that encode a *non-canonical* unit.
+_BAD_SUFFIXES = (
+    "_gb",
+    "_tb",
+    "_kb",
+    "_bytes",
+    "_gbps",
+    "_kbps",
+    "_bps",
+    "_ms",
+    "_us",
+    "_ns",
+    "_min",
+    "_mins",
+    "_minutes",
+    "_hours",
+    "_hrs",
+    "_days",
+)
+
+
+def _is_units_module(src: SourceFile) -> bool:
+    """``repro/units.py`` itself is the one legal home for conversions."""
+    return src.path.name == "units.py" and src.path.parent.name == "repro"
+
+
+def _constant_value(node: ast.AST):
+    """The numeric literal value of a node, unwrapping unary minus."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    if is_constant_number(node):
+        return node.value
+    return None
+
+
+class UnitsPass(LintPass):
+    """Flag magic conversion constants and non-canonical unit suffixes."""
+
+    name = "units"
+    rules = ("UNI001", "UNI002")
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        """Scan binary operations and public function signatures."""
+        if _is_units_module(src):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Mult, ast.Div)
+            ):
+                findings.extend(self._check_binop(src, node))
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                findings.extend(self._check_signature(src, node))
+        return findings
+
+    def _check_binop(
+        self, src: SourceFile, node: ast.BinOp
+    ) -> List[Finding]:
+        suspects = []
+        for side, operand in (("left", node.left), ("right", node.right)):
+            value = _constant_value(operand)
+            if value is None:
+                continue
+            if value in _CONVERSION_CONSTANTS:
+                suspects.append(value)
+            elif (
+                value in _DIV_ONLY_CONSTANTS
+                and isinstance(node.op, ast.Div)
+                and side == "right"
+            ):
+                suspects.append(value)
+        if not suspects:
+            return []
+        op = "*" if isinstance(node.op, ast.Mult) else "/"
+        rendered = ", ".join(f"{op} {v!r}" for v in suspects)
+        return [
+            src.finding(
+                node,
+                "UNI001",
+                f"magic unit conversion ({rendered}); use the named "
+                "repro.units helper instead",
+            )
+        ]
+
+    def _check_signature(
+        self, src: SourceFile, node
+    ) -> List[Finding]:
+        if node.name.startswith("_"):
+            return []
+        findings: List[Finding] = []
+        args = list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        )
+        for arg in args:
+            if not _is_float_annotation(arg.annotation):
+                continue
+            suffix = _bad_suffix(arg.arg)
+            if suffix is None:
+                continue
+            findings.append(
+                Finding(
+                    path=src.rel_path,
+                    line=arg.lineno,
+                    rule="UNI002",
+                    message=(
+                        f"parameter {arg.arg!r} of {node.name}() carries "
+                        f"the non-canonical unit suffix {suffix!r}; the "
+                        "internal convention is MB / MB/s / seconds "
+                        "(_mb / _mbps / _s)"
+                    ),
+                )
+            )
+        return findings
+
+
+def _is_float_annotation(annotation) -> bool:
+    """True when a parameter annotation names ``float``."""
+    if annotation is None:
+        return False
+    name = dotted_name(annotation)
+    if name == "float":
+        return True
+    if isinstance(annotation, ast.Constant) and annotation.value == "float":
+        return True
+    return False
+
+
+def _bad_suffix(param_name: str):
+    """The offending suffix of ``param_name``, or ``None`` if clean."""
+    for suffix in _BAD_SUFFIXES:
+        if param_name.endswith(suffix):
+            return suffix
+    return None

@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import units
 from repro.analysis.tables import render_table
 from repro.obs import events as ev
 from repro.obs.events import Event
@@ -54,7 +55,7 @@ def job_table(events: Sequence[Event]) -> List[dict]:
                 "model": event.fields.get("model"),
                 "dataset": event.fields.get("dataset"),
                 "gpus": event.fields.get("num_gpus"),
-                "submit_min": event.ts_s / 60.0,
+                "submit_min": units.seconds_to_minutes(event.ts_s),
                 "start_min": None,
                 "finish_min": None,
                 "queue_min": None,
@@ -63,14 +64,16 @@ def job_table(events: Sequence[Event]) -> List[dict]:
             }
         elif event.etype == ev.JOB_START and event.job_id in jobs:
             row = jobs[event.job_id]
-            row["start_min"] = event.ts_s / 60.0
-            row["queue_min"] = (
-                float(event.fields.get("queue_delay_s", 0.0)) / 60.0
+            row["start_min"] = units.seconds_to_minutes(event.ts_s)
+            row["queue_min"] = units.seconds_to_minutes(
+                float(event.fields.get("queue_delay_s", 0.0))
             )
         elif event.etype == ev.JOB_FINISH and event.job_id in jobs:
             row = jobs[event.job_id]
-            row["finish_min"] = event.ts_s / 60.0
-            row["jct_min"] = float(event.fields.get("jct_s", 0.0)) / 60.0
+            row["finish_min"] = units.seconds_to_minutes(event.ts_s)
+            row["jct_min"] = units.seconds_to_minutes(
+                float(event.fields.get("jct_s", 0.0))
+            )
             row["epochs"] = event.fields.get("epochs_done", 0)
     return sorted(jobs.values(), key=lambda r: (r["submit_min"], r["job"]))
 
@@ -128,7 +131,7 @@ def timeline_rows(
         n = len(group)
         rows.append(
             {
-                "t_min": (idx + 0.5) * width / 60.0,
+                "t_min": units.seconds_to_minutes((idx + 0.5) * width),
                 "running": sum(g[1] for g in group) / n,
                 "achieved_mbps": sum(g[2] for g in group) / n,
                 "ideal_mbps": sum(g[3] for g in group) / n,
@@ -271,7 +274,7 @@ def fault_table(events: Sequence[Event]) -> List[dict]:
             detail = f"resumes at epoch {event.fields.get('epoch')}"
         rows.append(
             {
-                "t_min": event.ts_s / 60.0,
+                "t_min": units.seconds_to_minutes(event.ts_s),
                 "event": event.etype,
                 "job": event.job_id or "-",
                 "detail": detail,

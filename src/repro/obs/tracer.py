@@ -141,6 +141,9 @@ class Tracer:
         gpus_granted: float,
         cache_granted_mb: float,
         io_granted_mbps: float,
+        # The schema reports decision latency in ms on purpose: it is a
+        # wall-clock observability reading, not simulated time.
+        # lint: disable=UNI002
         latency_ms: float,
     ) -> None:
         """One scheduling round produced a joint allocation."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from collections import deque
 from typing import Dict, List, Optional, Sequence
 
@@ -566,8 +567,11 @@ class MinibatchEmulator:
             capacity = int(target_mb / self._item_size_mb)
             cache = self._uniform_caches.get(key)
             if cache is None:
+                # zlib.crc32 is stable across processes, unlike builtin
+                # hash() on str, so per-key eviction streams reproduce.
+                key_digest = zlib.crc32(key.encode("utf-8")) % 9973
                 cache = UniformItemCache(
-                    capacity, rng=random.Random(self._seed + hash(key) % 9973)
+                    capacity, rng=random.Random(self._seed + key_digest)
                 )
                 self._uniform_caches[key] = cache
             else:

@@ -30,6 +30,11 @@ SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
 SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
 
+#: Milliseconds per second — observability surfaces (e.g. the
+#: ``sched_decision`` event's ``latency_ms``) report wall-clock
+#: latencies in ms while simulation time stays in seconds.
+MS_PER_SECOND = 1000.0
+
 
 def gb(value: float) -> float:
     """Convert gigabytes to MB."""
@@ -84,3 +89,13 @@ def weeks(value: float) -> float:
 def seconds_to_minutes(value_s: float) -> float:
     """Convert seconds to minutes (the unit the paper reports JCT in)."""
     return value_s / SECONDS_PER_MINUTE
+
+
+def seconds_to_ms(value_s: float) -> float:
+    """Convert seconds to milliseconds (observability latencies)."""
+    return value_s * MS_PER_SECOND
+
+
+def ms_to_seconds(value_ms: float) -> float:
+    """Convert milliseconds back to seconds."""
+    return value_ms / MS_PER_SECOND

@@ -38,9 +38,12 @@ def default_registry() -> DatasetRegistry:
     return registry
 
 
-def synthetic_images(name: str, size_tb: float = 1.3) -> Dataset:
-    """A synthesized image dataset (the micro-benchmark's 1.3 TB sets)."""
-    size_mb = units.tb(size_tb)
+def synthetic_images(name: str, size_mb: float = units.tb(1.3)) -> Dataset:
+    """A synthesized image dataset (the micro-benchmark's 1.3 TB sets).
+
+    ``size_mb`` follows the internal unit convention; callers quoting
+    paper figures convert at the boundary (``units.tb(0.3)``).
+    """
     # ~110 KB per image, as in ImageNet-1k.
     num_items = max(1, int(size_mb / 0.110))
     return Dataset(name, size_mb, num_items=num_items)

@@ -34,7 +34,7 @@ class ProfileResult:
     @property
     def error(self) -> float:
         """Relative gap between measured and declared throughput."""
-        if self.declared_f_star_mbps == 0:
+        if self.declared_f_star_mbps <= 0.0:
             return float("nan")
         return (
             abs(self.measured_f_star_mbps - self.declared_f_star_mbps)

@@ -59,7 +59,7 @@ class TraceConfig:
     #: the rate swings between 0.2x and 1.8x the mean over a 24 h period
     #: (production clusters see strong day/night submission patterns).
     diurnal_amplitude: float = 0.0
-    diurnal_period_s: float = 24 * 3600.0
+    diurnal_period_s: float = units.hours(24.0)
     #: Restrict the model/dataset mix (defaults to Figure 6's 11 combos).
     job_mix: Optional[Sequence[Tuple[str, Dataset]]] = None
 

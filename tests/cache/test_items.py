@@ -11,7 +11,7 @@ from repro.cache.items import LruItemCache, UniformItemCache, measure_hit_ratio
 
 class TestUniformItemCache:
     def test_admits_until_capacity_then_stops(self):
-        cache = UniformItemCache(2)
+        cache = UniformItemCache(2, rng=random.Random(0))
         assert not cache.access("a")
         assert not cache.access("b")
         assert not cache.access("c")  # full: not admitted
@@ -21,7 +21,7 @@ class TestUniformItemCache:
         assert cache.size == 2
 
     def test_never_evicts_on_access(self):
-        cache = UniformItemCache(1)
+        cache = UniformItemCache(1, rng=random.Random(0))
         cache.access("a")
         for item in ["b", "c", "d"]:
             cache.access(item)
@@ -38,7 +38,7 @@ class TestUniformItemCache:
         assert cache.snapshot() <= set(range(100))
 
     def test_resize_grow_keeps_items(self):
-        cache = UniformItemCache(2)
+        cache = UniformItemCache(2, rng=random.Random(0))
         cache.access("a")
         cache.resize(10)
         assert "a" in cache
@@ -46,8 +46,8 @@ class TestUniformItemCache:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            UniformItemCache(-1)
-        cache = UniformItemCache(1)
+            UniformItemCache(-1, rng=random.Random(0))
+        cache = UniformItemCache(1, rng=random.Random(0))
         with pytest.raises(ValueError):
             cache.resize(-2)
 
@@ -85,7 +85,7 @@ class TestLruItemCache:
 
 
 def test_measure_hit_ratio_with_warmup():
-    cache = UniformItemCache(10)
+    cache = UniformItemCache(10, rng=random.Random(0))
     stream = list(range(10)) * 3
     ratio = measure_hit_ratio(cache, stream, warmup=10)
     assert ratio == pytest.approx(1.0)
@@ -97,7 +97,10 @@ def test_measure_hit_ratio_with_warmup():
 )
 @settings(max_examples=50)
 def test_caches_never_exceed_capacity(capacity, accesses):
-    for cache in (UniformItemCache(capacity), LruItemCache(capacity)):
+    for cache in (
+        UniformItemCache(capacity, rng=random.Random(0)),
+        LruItemCache(capacity),
+    ):
         for item in accesses:
             cache.access(item)
             assert cache.size <= capacity
@@ -111,7 +114,7 @@ def test_caches_never_exceed_capacity(capacity, accesses):
 @settings(max_examples=50)
 def test_infinite_capacity_caches_behave_identically(accesses):
     """With room for everything, uniform and LRU give identical hits."""
-    uniform = UniformItemCache(1000)
+    uniform = UniformItemCache(1000, rng=random.Random(0))
     lru = LruItemCache(1000)
     for item in accesses:
         assert uniform.access(item) == lru.access(item)

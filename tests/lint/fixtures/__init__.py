@@ -1,0 +1,7 @@
+"""Fixture snippets for the lint-pass tests.
+
+Each ``*_bad.py`` module contains at least one true positive per rule of
+its pass; each ``*_good.py`` is the clean twin. The files are parsed by
+the linter, never imported, so they may reference modules that are not
+installed.
+"""

@@ -1,0 +1,8 @@
+"""Fixture: float-equality violations for the floateq pass."""
+
+
+def clock_compare(finish_s: float, deadline_s: float, weight) -> bool:
+    """Exact equality on clocks, unit values, and float literals."""
+    on_the_dot = finish_s == deadline_s  # FLT001: unit-suffixed values
+    default_weight = weight != 1.0  # FLT001: float literal
+    return on_the_dot and default_weight

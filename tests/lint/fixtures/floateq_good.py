@@ -1,0 +1,10 @@
+"""Fixture: the clean twin of ``floateq_bad`` — tolerant comparisons."""
+
+EPS = 1e-9
+
+
+def clock_compare(finish_s: float, deadline_s: float, count: int) -> bool:
+    """Tolerance-based float comparison; int equality stays legal."""
+    on_the_dot = abs(finish_s - deadline_s) < EPS
+    exactly_two = count == 2
+    return on_the_dot and exactly_two

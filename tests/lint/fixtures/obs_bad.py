@@ -1,0 +1,14 @@
+"""Fixture: event-schema violations for the obs-schema pass."""
+
+from repro.obs import events as ev
+
+
+def emit_drifted(tracer, ts_s: float) -> None:
+    """Undeclared types and field drift against repro.obs.events."""
+    tracer.emit(ts_s, "job_teleport", "j1", reason="warp")  # OBS001
+    tracer.emit(ts_s, ev.JOB_TELEPORT, "j1", reason="warp")  # OBS001
+    tracer.emit(ts_s, "job_finish", "j1", jct_s=1.0)  # OBS002: missing
+    tracer.emit(
+        ts_s, ev.JOB_FINISH, "j1", jct_s=1.0, epochs_done=2, mood="good"
+    )  # OBS002: extra
+    tracer.epoch_boundary(ts_s, "j1", epoch=3, flavour="odd")  # OBS002

@@ -1,0 +1,16 @@
+"""Fixture: policy-interface violations for the policy pass."""
+
+from repro.core.policies.base import SchedulingPolicy
+from repro.sim import fluid  # POL002: simulator internals
+
+
+class HollowPolicy(SchedulingPolicy):  # POL001: no schedule, no name
+    """A policy that implements nothing and peeks everywhere."""
+
+    def peek(self, simulator):
+        """Reach straight into the simulator's private state."""
+        return simulator._event_queue  # POL003
+
+    def widen(self, allocation):
+        """Mutate another object's private bookkeeping."""
+        allocation._grants["j1"] = fluid and 1.0  # POL003

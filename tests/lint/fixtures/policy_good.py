@@ -1,0 +1,24 @@
+"""Fixture: the clean twin of ``policy_bad`` — a conformant policy."""
+
+from repro.core.policies.base import SchedulingPolicy
+
+
+class WellBehavedPolicy(SchedulingPolicy):
+    """Implements the interface; touches only public surface."""
+
+    name = "well-behaved"
+
+    def schedule(self, jobs, total, ctx):
+        """Allocate through the public Allocation API only."""
+        allocation = ctx.estimator.empty_allocation()
+        for job in jobs:
+            allocation.grant_gpus(job.job_id, job.num_gpus)
+        return allocation
+
+
+class RefinedPolicy(WellBehavedPolicy):
+    """Inherits schedule() and name from a local conformant base."""
+
+    def tiebreak(self, jobs):
+        """A public helper; inherited interface keeps POL001 quiet."""
+        return sorted(jobs, key=lambda job: job.job_id)

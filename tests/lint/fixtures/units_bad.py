@@ -1,0 +1,10 @@
+"""Fixture: unit-convention violations for the units pass."""
+
+
+def egress_budget(total_gb: float, link_gbps: float) -> float:  # UNI002 x2
+    """Magic conversions instead of the repro.units helpers."""
+    total_mb = total_gb * 1024.0  # UNI001
+    link_mbps = link_gbps * 125.0  # UNI001
+    bytes_per_bit = link_mbps / 8  # UNI001
+    window_s = 2 * 3600.0  # UNI001
+    return total_mb / link_mbps + bytes_per_bit + window_s

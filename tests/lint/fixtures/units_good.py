@@ -1,0 +1,11 @@
+"""Fixture: the clean twin of ``units_bad`` — canonical units only."""
+
+from repro import units
+
+
+def egress_budget(total_mb: float, link_mbps: float) -> float:
+    """Canonical-unit parameters, conversions via repro.units."""
+    window_s = units.hours(2.0)
+    drain_s = total_mb / link_mbps
+    as_gb_for_report = units.mb_to_gb(total_mb)
+    return drain_s + window_s + as_gb_for_report

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro import units
 from repro.cluster.hardware import Cluster
 from repro.sim.results_io import (
     load_result,
@@ -22,11 +23,11 @@ def small_result():
     cluster = Cluster.build(1, 2, 20.0 * GB, 100.0)
     jobs = [
         make_job(
-            "a", "resnet50", synthetic_images("r-a", size_tb=0.005),
+            "a", "resnet50", synthetic_images("r-a", size_mb=units.tb(0.005)),
             num_epochs=2,
         ),
         make_job(
-            "b", "bert", synthetic_images("r-b", size_tb=0.005),
+            "b", "bert", synthetic_images("r-b", size_mb=units.tb(0.005)),
             num_epochs=1, submit_time_s=30.0,
         ),
     ]

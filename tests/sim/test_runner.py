@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import units
 from repro.cache.silod_cache import SiloDDataManager
 from repro.cluster.hardware import Cluster
 from repro.sim.runner import (
@@ -24,13 +25,13 @@ def tiny_trace():
         make_job(
             "a",
             "resnet50",
-            synthetic_images("s-a", size_tb=0.01),
+            synthetic_images("s-a", size_mb=units.tb(0.01)),
             num_epochs=2,
         ),
         make_job(
             "b",
             "efficientnet-b1",
-            synthetic_images("s-b", size_tb=0.01),
+            synthetic_images("s-b", size_mb=units.tb(0.01)),
             num_epochs=2,
         ),
     ]

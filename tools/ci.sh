@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The CI gate, in the order a failure is cheapest to report:
+#
+#   1. `repro lint --strict`  — the invariant linter (repro.lint) over
+#      the source tree, with the checked-in (empty) baseline; a stale
+#      baseline entry also fails, so the baseline can only shrink.
+#   2. docs/schema sync        — tools/check_obs_docs.py keeps
+#      docs/OBSERVABILITY.md and docs/FAULTS.md truthful.
+#   3. the tier-1 pytest suite.
+#
+# Usage: tools/ci.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro lint --strict =="
+python -m repro lint --strict
+
+echo "== docs/schema sync =="
+python tools/check_obs_docs.py
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"
