@@ -22,6 +22,7 @@ import pytest
 
 from repro import units
 from repro.cluster.hardware import Cluster, cluster_400gpu
+from repro.perf.record import write_benchmark_artifact
 from repro.sim.metrics import RunResult
 from repro.sim.runner import run_experiment
 from repro.workloads.trace import (
@@ -154,11 +155,18 @@ def run_cell(
 
 @pytest.fixture()
 def report():
-    """Print a reproduced table/figure and persist it for EXPERIMENTS.md."""
+    """Print a reproduced table/figure and persist it for EXPERIMENTS.md.
+
+    Each table is written twice: the raw ``.txt`` that EXPERIMENTS.md
+    embeds, and a schema-versioned ``.json`` envelope
+    (``repro.perf.record``) so every artifact under ``results/`` is
+    self-describing and machine-diffable across revisions.
+    """
 
     def _report(name: str, text: str) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        write_benchmark_artifact(name, "table", text, RESULTS_DIR)
         print(f"\n{text}\n")
 
     return _report

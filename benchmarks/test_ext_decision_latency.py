@@ -7,12 +7,14 @@ JSON artifact (``benchmarks/results/ext_decision_latency.json``) so the
 scaling behaviour can be tracked across revisions.
 """
 
-import json
-
 from repro import units
 from repro.analysis.tables import render_table
 from repro.cluster.hardware import Cluster
 from repro.obs import Tracer
+from repro.perf.record import (
+    load_benchmark_artifact,
+    write_benchmark_artifact,
+)
 from repro.sim.runner import run_experiment
 from repro.workloads.trace import (
     TraceConfig,
@@ -91,10 +93,10 @@ def test_ext_decision_latency(benchmark, report):
             title="Extension: scheduler decision latency (ms) sweep",
         ),
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    artifact = RESULTS_DIR / "ext_decision_latency.json"
-    artifact.write_text(json.dumps({"cells": cells}, indent=2) + "\n")
-    assert json.loads(artifact.read_text())["cells"] == cells
+    artifact = write_benchmark_artifact(
+        "ext_decision_latency", "cells", {"cells": cells}, RESULTS_DIR
+    )
+    assert load_benchmark_artifact(artifact)["data"]["cells"] == cells
     for cell in cells:
         # Each sweep cell made real decisions, quickly: the paper's
         # scheduler runs rounds at minute cadence, so even a generous

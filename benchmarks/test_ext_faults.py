@@ -8,12 +8,14 @@ a cache-node loss, a server crash/recover cycle, and a bandwidth flap —
 is driven through all four cache systems on the same trace.
 """
 
-import json
-
 from repro import units
 from repro.analysis.tables import render_table
 from repro.cluster.hardware import Cluster
 from repro.faults import FaultEvent, FaultSchedule
+from repro.perf.record import (
+    load_benchmark_artifact,
+    write_benchmark_artifact,
+)
 from repro.sim.runner import run_experiment
 from repro.workloads.trace import (
     TraceConfig,
@@ -96,19 +98,16 @@ def test_ext_faults_inflation(benchmark, report):
             rows, title="Extension: JCT inflation under cluster churn"
         ),
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "ext_faults.json").write_text(
-        json.dumps(
-            {
-                "schedule": SCHEDULE.to_dicts(),
-                "cells": [
-                    {k: v for k, v in row.items()} for row in rows
-                ],
-            },
-            indent=2,
-        )
-        + "\n"
+    artifact = write_benchmark_artifact(
+        "ext_faults",
+        "cells",
+        {
+            "schedule": SCHEDULE.to_dicts(),
+            "cells": [{k: v for k, v in row.items()} for row in rows],
+        },
+        RESULTS_DIR,
     )
+    assert load_benchmark_artifact(artifact)["data"]["cells"] == rows
     # Everything degrades under churn…
     for cache in CACHES:
         assert inflation[cache] > 1.0

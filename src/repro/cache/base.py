@@ -23,13 +23,65 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.job import Job
 from repro.core.estimator import SiloDPerfEstimator
 from repro.core.policies import io_share
 from repro.core.resources import Allocation
 from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+@dataclasses.dataclass
+class StorageBatchHints:
+    """Pre-gathered per-job columns for hot ``decide`` implementations.
+
+    The fluid simulator calls ``decide`` on every epoch boundary, but the
+    inputs below only change when the scheduler re-allocates — so the
+    simulator gathers them once per allocation epoch and passes them
+    along. A cache system may ignore the hints entirely; one that uses
+    them must produce bit-identical results either way, because the
+    contract is that every hint equals what the un-hinted code would
+    compute:
+
+    * ``job_ids[i] == running_jobs[i].job_id``;
+    * ``rates[i] == estimator.compute_bound(running_jobs[i],
+      gpu_grants.get(job_ids[i], 0.0))`` (the batched evaluation);
+    * ``effective`` is the *live* effective-bytes map behind
+      ``ctx.effective_mb`` (``effective.get(job_id, 0.0)`` ≡
+      ``ctx.effective_mb(job)``);
+    * the ``*_arr`` fields are numpy float64 mirrors of ``rates``, the
+      jobs' dataset sizes, and ``scheduler_allocation.remote_io_of`` per
+      job — ``None`` under the pure-Python backend;
+    * ``targets``, when present, equals
+      ``{name: mb for name, mb in scheduler_allocation.cache.items()
+      if mb > 0}`` — the positive-grant filter every decide would
+      otherwise rebuild. Consumers must treat it read-only (it is shared
+      across the allocation epoch's decisions).
+    """
+
+    job_ids: List[str]
+    rates: List[float]
+    effective: Dict[str, float]
+    rates_arr: Any = None
+    size_arr: Any = None
+    io_alloc_arr: Any = None
+    targets: Optional[Dict[str, float]] = None
+
+
+@dataclasses.dataclass
+class StorageDecisionBatch:
+    """Columnar mirror of a decision, for the simulator's rate recompute.
+
+    ``hit_arr[i]`` / ``io_grant_arr[i]`` are the float64 values behind
+    ``hit_ratios[job_ids[i]]`` / ``io_grants[job_ids[i]]`` — producers
+    must build the dicts from these same arrays (``.tolist()`` round-
+    trips float64 exactly) so consumers may use either form.
+    """
+
+    job_ids: List[str]
+    hit_arr: Any
+    io_grant_arr: Any
 
 
 @dataclasses.dataclass
@@ -59,6 +111,9 @@ class StorageContext:
     #: ``io_throttle`` event per running job through it (see
     #: :func:`trace_io_grants`). Defaults to the free no-op tracer.
     tracer: Tracer = NULL_TRACER
+    #: Optional pre-gathered per-job columns (see
+    #: :class:`StorageBatchHints`); cache systems may ignore them.
+    batch: Optional[StorageBatchHints] = None
 
 
 @dataclasses.dataclass
@@ -77,6 +132,9 @@ class StorageDecision:
     prefetch_rates: Dict[str, float] = dataclasses.field(
         default_factory=dict
     )
+    #: Optional columnar mirror of ``hit_ratios``/``io_grants`` (see
+    #: :class:`StorageDecisionBatch`); ``None`` from scalar paths.
+    batch: Optional[StorageDecisionBatch] = None
 
 
 class CacheSystem(abc.ABC):

@@ -24,10 +24,15 @@ from repro.cache.base import (
     CacheSystem,
     StorageContext,
     StorageDecision,
-    desired_rate,
+    StorageDecisionBatch,
     trace_io_grants,
 )
 from repro.core.policies import io_share
+from repro.perf.backend import numpy_enabled, require_numpy
+
+#: Below this many running jobs the scalar comprehensions win; matches
+#: the estimator's batch cutoff.
+_BATCH_MIN_JOBS = 8
 
 
 class SiloDDataManager(CacheSystem):
@@ -60,26 +65,81 @@ class SiloDDataManager(CacheSystem):
                 "run it with a storage-aware SiloDScheduler"
             )
 
-        # Table 3: allocateCacheSize — cache targets straight from the
-        # scheduler, at dataset granularity.
-        targets: Dict[str, float] = {
-            name: cache_mb
-            for name, cache_mb in allocation.cache.items()
-            if cache_mb > 0
-        }
-
-        hit_ratios = {
-            job.job_id: min(
-                1.0, ctx.effective_mb(job) / job.dataset.size_mb
+        # desired_rate(job, ctx) for every job at once — one vectorized
+        # compute-bound evaluation instead of a per-job estimator call.
+        # The simulator's per-epoch hints carry the same values already
+        # gathered (their contract guarantees bit-identical floats).
+        n = len(jobs)
+        hints = ctx.batch
+        if hints is not None and len(hints.job_ids) == n:
+            job_ids = hints.job_ids
+            rates = hints.rates
+        else:
+            hints = None
+            job_ids = [job.job_id for job in jobs]
+            rates = ctx.estimator.compute_bound_batch(
+                jobs, [ctx.gpu_grants.get(jid, 0.0) for jid in job_ids]
             )
-            for job in jobs
-        }
 
-        demands = {
-            job.job_id: desired_rate(job, ctx)
-            * (1.0 - hit_ratios[job.job_id])
-            for job in jobs
-        }
+        # Table 3: allocateCacheSize — cache targets straight from the
+        # scheduler, at dataset granularity (precomputed per allocation
+        # epoch when the hints carry them).
+        if hints is not None and hints.targets is not None:
+            targets: Dict[str, float] = hints.targets
+        else:
+            targets = {
+                name: cache_mb
+                for name, cache_mb in allocation.cache.items()
+                if cache_mb > 0
+            }
+        hits = demand_arr = None
+        if n >= _BATCH_MIN_JOBS and numpy_enabled():
+            np = require_numpy()
+            # min(1.0, effective/size) and rate*(1-hit), elementwise —
+            # bit-identical to the scalar comprehensions below.
+            if hints is not None and hints.rates_arr is not None:
+                eff = np.fromiter(
+                    (hints.effective.get(jid, 0.0) for jid in job_ids),
+                    float,
+                    count=n,
+                )
+                size = hints.size_arr
+                rate_arr = hints.rates_arr
+            else:
+                eff = np.fromiter(
+                    (ctx.effective_mb(job) for job in jobs), float, count=n
+                )
+                size = np.fromiter(
+                    (job.dataset.size_mb for job in jobs), float, count=n
+                )
+                rate_arr = np.asarray(rates, float)
+            hits = np.minimum(1.0, eff / size)
+            demand_arr = rate_arr * (1.0 - hits)
+            hit_ratios = dict(zip(job_ids, hits.tolist()))
+            demands = dict(zip(job_ids, demand_arr.tolist()))
+        elif hints is not None:
+            effective = hints.effective
+            hit_ratios = {
+                jid: min(
+                    1.0, effective.get(jid, 0.0) / job.dataset.size_mb
+                )
+                for jid, job in zip(job_ids, jobs)
+            }
+            demands = {
+                jid: rate * (1.0 - hit_ratios[jid])
+                for jid, rate in zip(job_ids, rates)
+            }
+        else:
+            hit_ratios = {
+                job.job_id: min(
+                    1.0, ctx.effective_mb(job) / job.dataset.size_mb
+                )
+                for job in jobs
+            }
+            demands = {
+                job.job_id: rate * (1.0 - hit_ratios[job.job_id])
+                for job, rate in zip(jobs, rates)
+            }
         if not self._io_allocation:
             # Ablation (§7.2): the scheduler's IO grants are discarded
             # and the egress is shared work-conservingly over the raw
@@ -101,13 +161,31 @@ class SiloDDataManager(CacheSystem):
         # does not second-guess them; capping at the current demand only
         # keeps the accounting honest (a job cannot pull bytes it cannot
         # consume).
-        io_grants = {
-            job.job_id: min(
-                allocation.remote_io_of(job.job_id), demands[job.job_id]
+        batch = None
+        if demand_arr is not None:
+            np = require_numpy()
+            if hints is not None and hints.io_alloc_arr is not None:
+                io_alloc = hints.io_alloc_arr
+            else:
+                io_alloc = np.fromiter(
+                    (allocation.remote_io_of(jid) for jid in job_ids),
+                    float,
+                    count=n,
+                )
+            granted = np.minimum(io_alloc, demand_arr)
+            io_grants = dict(zip(job_ids, granted.tolist()))
+            batch = StorageDecisionBatch(
+                job_ids=job_ids, hit_arr=hits, io_grant_arr=granted
             )
-            for job in jobs
-        }
+        else:
+            io_grants = {
+                jid: min(allocation.remote_io_of(jid), demands[jid])
+                for jid in job_ids
+            }
         trace_io_grants(ctx, hit_ratios, io_grants)
         return StorageDecision(
-            cache_targets=targets, hit_ratios=hit_ratios, io_grants=io_grants
+            cache_targets=targets,
+            hit_ratios=hit_ratios,
+            io_grants=io_grants,
+            batch=batch,
         )

@@ -14,7 +14,10 @@ Six subcommands cover the end-to-end workflow:
 * ``report``    — render timeline / scheduler-audit / cache tables from
   an event log written by ``run --events``;
 * ``lint``      — run the AST-based invariant linter (``repro.lint``)
-  over the source tree (see ``docs/LINT.md``).
+  over the source tree (see ``docs/LINT.md``);
+* ``bench``     — run the scaling-scenario benchmark suite and write
+  repo-root ``BENCH_<scenario>.json`` artifacts; ``--compare`` gates
+  against a baseline record (see ``docs/PERFORMANCE.md``).
 
 See ``docs/CLI.md`` for worked invocations and ``docs/OBSERVABILITY.md``
 for the event schema.
@@ -32,6 +35,7 @@ from repro.cluster.hardware import Cluster
 from repro.core import perf_model
 from repro.faults import FaultSchedule, generate_churn
 from repro.lint.cli import configure_parser as configure_lint_parser
+from repro.perf.cli import configure_parser as configure_bench_parser
 from repro.obs import (
     Tracer,
     load_events,
@@ -418,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the invariant linter (repro.lint)"
     )
     configure_lint_parser(p_lint)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf benchmark suite (repro.perf)"
+    )
+    configure_bench_parser(p_bench)
     return parser
 
 

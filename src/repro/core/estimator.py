@@ -17,14 +17,20 @@ This module provides that wrapper as :class:`SiloDPerfEstimator`. It
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.job import Job
 from repro.core import perf_model
 from repro.core.resources import ResourceVector
+from repro.perf.backend import numpy_enabled, require_numpy
 
 #: Signature of a compute-only estimator: (job, gpus granted) -> MB/s.
 ComputeEstimator = Callable[[Job, float], float]
+
+#: Below this many jobs the vectorized batch path is not worth the numpy
+#: call overhead; the loop fallback runs instead (results are identical
+#: either way, so the cutoff is purely a latency knob).
+_BATCH_MIN_JOBS = 8
 
 
 def linear_compute_estimator(job: Job, gpus: float) -> float:
@@ -56,6 +62,42 @@ class SiloDPerfEstimator:
     def compute_bound(self, job: Job, gpus: float) -> float:
         """The original compute-only estimate ``perf(j, R)``."""
         return self._compute_estimator(job, gpus)
+
+    def compute_bound_batch(
+        self, jobs: Sequence[Job], gpus: Sequence[float]
+    ) -> List[float]:
+        """``[compute_bound(j, g) for j, g in zip(jobs, gpus)]``, batched.
+
+        The hot callers (the fluid simulator's rate recompute, the
+        per-round IO-demand pass, the SiloD data manager) evaluate the
+        compute bound for every running job at once; with the default
+        :func:`linear_compute_estimator` that is one elementwise numpy
+        expression mirroring the scalar formula operation for operation
+        (``f* * min(1.0, gpus / num_gpus)``), so the returned floats are
+        bit-identical to the loop. Custom estimators (and the
+        ``REPRO_NO_NUMPY=1`` fallback) take the loop.
+        """
+        jobs = list(jobs)
+        if (
+            len(jobs) >= _BATCH_MIN_JOBS
+            and self._compute_estimator is linear_compute_estimator
+            and numpy_enabled()
+        ):
+            np = require_numpy()
+            n = len(jobs)
+            f_star = np.fromiter(
+                (job.ideal_throughput_mbps for job in jobs), float, count=n
+            )
+            requested = np.fromiter(
+                (job.num_gpus for job in jobs), float, count=n
+            )
+            granted = np.fromiter(gpus, float, count=n)
+            fraction = np.minimum(1.0, granted / requested)
+            return (f_star * fraction).tolist()
+        return [
+            self.compute_bound(job, grant)
+            for job, grant in zip(jobs, gpus)
+        ]
 
     def estimate(
         self,
@@ -107,3 +149,90 @@ class SiloDPerfEstimator:
         if throughput <= 0:
             return float("inf")
         return job.total_work_mb / throughput
+
+
+class ThroughputMatrix:
+    """Job × GPU-generation compute-bound throughput matrix.
+
+    Capacity planning asks "what would this job mix consume on other
+    hardware?" — e.g. sizing the egress limit a Figure 1-style upgrade
+    would demand. Row *i*, column *k* is job *i*'s compute-bound data
+    rate (``f*`` at its requested GPU count) scaled by generation *k*'s
+    fp32 TFLOPS relative to the ``reference`` generation the jobs were
+    profiled on (the paper profiles on V100, Table 2).
+
+    The matrix is one outer product on the vectorized backend and a
+    nested loop under ``REPRO_NO_NUMPY=1``; both produce bit-identical
+    values (each entry is the same two-factor product).
+
+    Attributes
+    ----------
+    job_ids:
+        Row labels, in input order.
+    generations:
+        Column labels (GPU generation names), in input order.
+    values:
+        ``values[i][k]`` in MB/s, as plain Python floats.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        generations: Optional[Sequence[str]] = None,
+        reference: str = "V100",
+        estimator: Optional["SiloDPerfEstimator"] = None,
+    ) -> None:
+        from repro.cluster.hardware import GPU_GENERATIONS
+
+        if generations is None:
+            generations = sorted(
+                GPU_GENERATIONS,
+                key=lambda name: GPU_GENERATIONS[name].release_year,
+            )
+        for name in list(generations) + [reference]:
+            if name not in GPU_GENERATIONS:
+                raise ValueError(f"unknown GPU generation {name!r}")
+        estimator = estimator or SiloDPerfEstimator()
+        jobs = list(jobs)
+        self.job_ids: List[str] = [job.job_id for job in jobs]
+        self.generations: List[str] = list(generations)
+        self.reference = reference
+        ref_tflops = GPU_GENERATIONS[reference].fp32_tflops
+        factors = [
+            GPU_GENERATIONS[name].fp32_tflops / ref_tflops
+            for name in self.generations
+        ]
+        f_stars = estimator.compute_bound_batch(
+            jobs, [job.num_gpus for job in jobs]
+        )
+        if len(jobs) >= _BATCH_MIN_JOBS and numpy_enabled():
+            np = require_numpy()
+            matrix = np.multiply.outer(
+                np.asarray(f_stars, float), np.asarray(factors, float)
+            )
+            self.values: List[List[float]] = matrix.tolist()
+        else:
+            self.values = [
+                [f_star * factor for factor in factors]
+                for f_star in f_stars
+            ]
+
+    def row(self, job_id: str) -> List[float]:
+        """One job's throughput across generations."""
+        return self.values[self.job_ids.index(job_id)]
+
+    def column(self, generation: str) -> List[float]:
+        """Every job's throughput on one generation."""
+        k = self.generations.index(generation)
+        return [row[k] for row in self.values]
+
+    def total_demand_mbps(self, generation: str) -> float:
+        """Aggregate compute-bound data demand on one generation.
+
+        Sequential left-to-right sum (backend-identical); this is the
+        egress a cluster of that generation would need with zero cache.
+        """
+        total = 0.0
+        for value in self.column(generation):
+            total += value
+        return total

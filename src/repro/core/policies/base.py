@@ -29,6 +29,7 @@ from repro.core.policies import io_share
 from repro.core.policies.greedy import greedy_cache_allocation
 from repro.core.resources import Allocation, ResourceVector
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.perf.backend import numpy_enabled, require_numpy
 
 
 @dataclasses.dataclass
@@ -52,9 +53,20 @@ class ScheduleContext:
     #: Observability sink (``repro.obs``): policies may bump counters or
     #: emit events through it; defaults to the free no-op tracer.
     tracer: Tracer = NULL_TRACER
+    #: Optional dict view behind ``effective_cache_mb`` (job_id →
+    #: effective bytes, absent = 0.0). When a caller's effectiveness
+    #: state already lives in a dict, passing it here lets the per-job
+    #: hot loops use plain dict lookups instead of a Python callable —
+    #: the two views must agree, and ``effective_cache_map`` wins.
+    effective_cache_map: Optional[Dict[str, float]] = None
 
     def effective_hits_mb(self, job: Job, allocated_cache_mb: float) -> float:
         """Bytes of cache a job can hit *right now* under an allocation."""
+        if self.effective_cache_map is not None:
+            return min(
+                allocated_cache_mb,
+                self.effective_cache_map.get(job.job_id, 0.0),
+            )
         if self.effective_cache_mb is None:
             return allocated_cache_mb
         return min(allocated_cache_mb, self.effective_cache_mb(job))
@@ -119,11 +131,52 @@ def instantaneous_io_demands(
     allocation (§6). Without an effective-cache view this reduces to the
     steady-state demand.
     """
-    demands: Dict[str, float] = {}
-    for job in jobs:
-        f_star = ctx.estimator.compute_bound(
-            job, allocation.gpus_of(job.job_id)
+    jobs = list(jobs)
+    n = len(jobs)
+    gpu_map = allocation.gpus
+    f_stars = ctx.estimator.compute_bound_batch(
+        jobs, [gpu_map.get(job.job_id, 0.0) for job in jobs]
+    )
+    if n >= 8 and numpy_enabled():
+        np = require_numpy()
+        # Eq 2 elementwise: f* * (1 - min(1, hits/size)) — bit-identical
+        # to perf_model.remote_io_demand on each element.
+        eff_map = ctx.effective_cache_map
+        cache_map = allocation.cache
+        if eff_map is not None:
+            # Same min() as effective_hits_mb, inlined to plain dict
+            # lookups for the per-job sweep.
+            hits = np.fromiter(
+                (
+                    min(
+                        cache_map.get(job.dataset.name, 0.0),
+                        eff_map.get(job.job_id, 0.0),
+                    )
+                    for job in jobs
+                ),
+                float,
+                count=n,
+            )
+        else:
+            hits = np.fromiter(
+                (
+                    ctx.effective_hits_mb(
+                        job, cache_map.get(job.dataset.name, 0.0)
+                    )
+                    for job in jobs
+                ),
+                float,
+                count=n,
+            )
+        size = np.fromiter(
+            (job.dataset.size_mb for job in jobs), float, count=n
         )
+        demand_arr = np.asarray(f_stars, float) * (
+            1.0 - np.minimum(1.0, hits / size)
+        )
+        return dict(zip((job.job_id for job in jobs), demand_arr.tolist()))
+    demands: Dict[str, float] = {}
+    for job, f_star in zip(jobs, f_stars):
         hits_mb = ctx.effective_hits_mb(
             job, allocation.cache_of(job.dataset.name)
         )

@@ -50,7 +50,8 @@ def max_min_waterfill(
                 grants[job_id] += share
             remaining = 0.0
             break
-        active = [job_id for job_id in active if job_id not in set(satisfied)]
+        done = set(satisfied)
+        active = [job_id for job_id in active if job_id not in done]
     return grants
 
 

@@ -15,7 +15,7 @@ performance estimator and adds the two framework-level behaviours:
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import units
 from repro.cluster.job import Job
@@ -65,6 +65,7 @@ class SiloDScheduler:
         now_s: float = 0.0,
         effective_cache_mb: Optional[Callable[[Job], float]] = None,
         attained_service_s: Optional[Callable[[Job], float]] = None,
+        effective_cache_map: Optional[Dict[str, float]] = None,
     ) -> Allocation:
         """Produce a joint allocation for the current job set.
 
@@ -72,7 +73,10 @@ class SiloDScheduler:
         effective cache so remote-IO grants track instantaneous demands
         (§6); ``attained_service_s`` feeds service-based priorities
         (Tiresias-style LAS). Omit both for one-shot steady-state
-        allocations.
+        allocations. ``effective_cache_map`` is the optional dict view of
+        the same effectiveness state (see
+        :attr:`~repro.core.policies.base.ScheduleContext.effective_cache_map`);
+        simulators pass it so per-job policy sweeps use plain lookups.
         """
         tracer = self.tracer
         # Wall-clock by design: ``latency_ms`` reports the *real* cost of
@@ -80,7 +84,8 @@ class SiloDScheduler:
         # scheduling, so determinism of the run is unaffected.
         # lint: disable=DET003
         t0 = time.perf_counter() if tracer.enabled else 0.0
-        regular = [j for j in jobs if j.regular]
+        # The regular list is only needed when partitioning actually
+        # happens — in the (common) all-regular case one pass suffices.
         irregular = [j for j in jobs if not j.regular]
         if not self.storage_aware or not irregular:
             allocation = self._schedule_pool(
@@ -90,8 +95,10 @@ class SiloDScheduler:
                 self.storage_aware,
                 effective_cache_mb,
                 attained_service_s,
+                effective_cache_map,
             )
         else:
+            regular = [j for j in jobs if j.regular]
             allocation = self._schedule_partitioned(
                 regular,
                 irregular,
@@ -99,6 +106,7 @@ class SiloDScheduler:
                 now_s,
                 effective_cache_mb,
                 attained_service_s,
+                effective_cache_map,
             )
         if tracer.enabled:
             tracer.sched_decision(
@@ -128,6 +136,7 @@ class SiloDScheduler:
         storage_aware: bool,
         effective_cache_mb: Optional[Callable[[Job], float]] = None,
         attained_service_s: Optional[Callable[[Job], float]] = None,
+        effective_cache_map: Optional[Dict[str, float]] = None,
     ) -> Allocation:
         ctx = ScheduleContext(
             estimator=self.estimator,
@@ -136,6 +145,7 @@ class SiloDScheduler:
             effective_cache_mb=effective_cache_mb,
             attained_service_s=attained_service_s,
             tracer=self.tracer,
+            effective_cache_map=effective_cache_map,
         )
         return self.policy.schedule(jobs, total, ctx)
 
@@ -147,6 +157,7 @@ class SiloDScheduler:
         now_s: float,
         effective_cache_mb: Optional[Callable[[Job], float]] = None,
         attained_service_s: Optional[Callable[[Job], float]] = None,
+        effective_cache_map: Optional[Dict[str, float]] = None,
     ) -> Allocation:
         """§6: split cache/IO between a regular and an irregular pool.
 
@@ -178,6 +189,7 @@ class SiloDScheduler:
             True,
             effective_cache_mb,
             attained_service_s,
+            effective_cache_map,
         )
         alloc_irr = self._schedule_pool(
             irregular, total_irr, now_s, False, None, attained_service_s

@@ -43,6 +43,8 @@ RULES: Dict[str, str] = {
     "POL002": "policy module imports simulator internals (repro.sim)",
     "POL003": "policy code reaches into another object's private "
     "attributes",
+    "PERF001": "per-item Python loop over cache state in a module that "
+    "imports the vectorized helpers (use the store's bulk APIs)",
 }
 
 

@@ -16,6 +16,7 @@ from repro.lint.engine import LintPass
 from repro.lint.passes.determinism import DeterminismPass
 from repro.lint.passes.floateq import FloatEqualityPass
 from repro.lint.passes.obs_schema import ObsSchemaPass
+from repro.lint.passes.perf import PerfPass
 from repro.lint.passes.policy import PolicyConformancePass
 from repro.lint.passes.units import UnitsPass
 
@@ -26,6 +27,7 @@ ALL_PASSES: Sequence[Type[LintPass]] = (
     FloatEqualityPass,
     ObsSchemaPass,
     PolicyConformancePass,
+    PerfPass,
 )
 
 

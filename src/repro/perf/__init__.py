@@ -1,0 +1,65 @@
+"""repro.perf — profiling, benchmarking, and the vectorization contract.
+
+The performance subsystem has three pieces (see ``docs/PERFORMANCE.md``
+for the hot-path map, the artifact schema, and the regression-gate
+policy):
+
+* :mod:`repro.perf.backend` — the single switch deciding whether the
+  vectorized (numpy) or the pure-Python fallback implementations run
+  (``REPRO_NO_NUMPY=1`` forces the fallback);
+* :mod:`repro.perf.record` — the schema-versioned ``BENCH_*.json``
+  record, its writer/loader, and the ``--compare`` delta engine;
+* :mod:`repro.perf.bench` — the scaling-scenario suite behind
+  ``python -m repro bench`` (wall time, peak RSS, events/sec and
+  rounds/sec via ``repro.obs`` counters).
+
+The contract every vectorized hot path honours: with
+``REPRO_NO_NUMPY=1`` the pure-Python fallback produces **bit-identical
+scheduling decisions and event sequences** (enforced by the
+``perf``-marked equivalence tests under ``tests/perf/``).
+
+Only :mod:`repro.perf.backend` is imported eagerly: the simulators and
+cache/estimator modules consult it at construction time, and importing
+``repro.perf.bench`` here would close an import cycle back through
+``repro.sim.runner``. The record/bench names below resolve lazily
+(PEP 562).
+"""
+
+from repro.perf.backend import numpy_enabled, require_numpy, using_backend
+
+#: Lazily re-exported names and the submodule each lives in.
+_LAZY = {
+    "BENCH_SCHEMA_VERSION": "repro.perf.record",
+    "BENCH_FIELDS": "repro.perf.record",
+    "BenchRecord": "repro.perf.record",
+    "MetricDelta": "repro.perf.record",
+    "compare_records": "repro.perf.record",
+    "load_record": "repro.perf.record",
+    "write_record": "repro.perf.record",
+    "benchmark_artifact": "repro.perf.record",
+    "write_benchmark_artifact": "repro.perf.record",
+    "BenchScenario": "repro.perf.bench",
+    "SCENARIOS": "repro.perf.bench",
+    "SUITES": "repro.perf.bench",
+    "run_scenario": "repro.perf.bench",
+    "scenarios_for": "repro.perf.bench",
+}
+
+__all__ = [
+    "numpy_enabled",
+    "require_numpy",
+    "using_backend",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,184 @@
+"""CLI plumbing for ``python -m repro bench``.
+
+Three modes (worked examples in ``docs/CLI.md`` and
+``docs/PERFORMANCE.md``):
+
+* measure: run a suite (default ``scale``) and/or named scenarios and
+  write one repo-root ``BENCH_<scenario>.json`` per scenario;
+* compare: ``--compare BASELINE.json ...`` re-runs each baseline's
+  scenario and reports per-metric deltas, exiting 2 when any metric
+  regresses past ``--threshold`` (or the result anchors drift);
+* list: ``--list`` prints the scenario/suite catalogue and exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List
+
+from repro.lint.engine import repo_root
+from repro.perf import backend as perf_backend
+from repro.perf.bench import SCENARIOS, SUITES, run_scenario, scenarios_for
+from repro.perf.record import (
+    compare_records,
+    has_failures,
+    load_record,
+    write_record,
+)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``bench`` arguments to a subcommand parser."""
+    parser.add_argument(
+        "--suite",
+        default=None,
+        choices=sorted(SUITES),
+        help="scenario suite to run (default: scale, unless --scenario "
+        "or --compare selects scenarios explicitly)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help=f"run a named scenario (repeatable; one of "
+        f"{', '.join(sorted(SCENARIOS))})",
+    )
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "vectorized", "fallback"],
+        help="implementation backend: auto (default; vectorized when "
+        "numpy is available), vectorized, or fallback (pure Python — "
+        "what REPRO_NO_NUMPY=1 selects; used to record "
+        "pre-vectorization baselines)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="directory receiving BENCH_<scenario>.json artifacts "
+        "(default: the repository root)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and print, but write no artifacts",
+    )
+    parser.add_argument(
+        "--compare",
+        action="append",
+        default=[],
+        metavar="BASELINE.json",
+        help="re-run each baseline record's scenario and report "
+        "per-metric deltas; exits 2 past --threshold (repeatable)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="tolerated relative change for --compare, as a fraction "
+        "(default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="print the scenario and suite catalogue and exit",
+    )
+    parser.set_defaults(func=cmd_bench)
+
+
+def _render_record(record) -> str:
+    return (
+        f"{record.scenario}: {record.simulator} "
+        f"{record.num_jobs} jobs x {record.num_gpus} GPUs "
+        f"[{record.backend}] — wall {record.wall_time_s:.2f}s, "
+        f"{record.events_per_sec:,.0f} events/s, "
+        f"{record.rounds_per_sec:,.1f} rounds/s, "
+        f"peak RSS {record.peak_rss_mb:,.0f} MB, "
+        f"{record.jobs_finished}/{record.num_jobs} finished"
+    )
+
+
+def _list_catalogue() -> str:
+    lines = ["scenarios:"]
+    for name in sorted(SCENARIOS):
+        s = SCENARIOS[name]
+        lines.append(
+            f"  {name:>18}: {s.simulator:>9} "
+            f"{s.num_jobs:>6} jobs x {s.num_gpus:>5} GPUs "
+            f"({s.policy} x {s.cache})"
+        )
+    lines.append("suites:")
+    for suite in sorted(SUITES):
+        lines.append(f"  {suite:>18}: {', '.join(SUITES[suite])}")
+    return "\n".join(lines)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the bench subcommand; returns the process exit code."""
+    if args.list_scenarios:
+        print(_list_catalogue())
+        return 0
+
+    out_dir = Path(args.out_dir) if args.out_dir else repo_root()
+    baselines = [load_record(path) for path in args.compare]
+    suite = args.suite
+    if suite is None and not args.scenario and not baselines:
+        suite = "scale"
+    names = list(args.scenario)
+    for baseline in baselines:
+        if baseline.scenario not in SCENARIOS:
+            raise SystemExit(
+                f"baseline scenario {baseline.scenario!r} is not in the "
+                f"catalogue; cannot re-run it"
+            )
+        if baseline.scenario not in names:
+            names.append(baseline.scenario)
+    specs = scenarios_for(suite, names)
+    if not specs:
+        raise SystemExit("nothing to run: no suite, scenario, or baseline")
+
+    failures = 0
+    with perf_backend.using_backend(
+        None if args.backend == "auto" else args.backend
+    ):
+        for spec in specs:
+            record = run_scenario(spec)
+            print(_render_record(record))
+            if not args.no_write:
+                path = write_record(
+                    record, out_dir / f"BENCH_{record.scenario}.json"
+                )
+                print(f"  -> {path}")
+            for baseline in baselines:
+                if baseline.scenario != record.scenario:
+                    continue
+                deltas = compare_records(
+                    record, baseline, threshold=args.threshold
+                )
+                print(
+                    f"  compare vs {baseline.backend} baseline "
+                    f"({baseline.created_utc}), threshold "
+                    f"{args.threshold:.0%}:"
+                )
+                for delta in deltas:
+                    print(f"    {delta.render()}")
+                if has_failures(deltas):
+                    failures += 1
+    return 2 if failures else 0
+
+
+def build_standalone_parser() -> argparse.ArgumentParser:
+    """A self-contained parser (tests drive the subcommand directly)."""
+    parser = argparse.ArgumentParser(prog="repro bench")
+    configure_parser(parser)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point for driving ``bench`` outside ``python -m repro``."""
+    args = build_standalone_parser().parse_args(argv)
+    return cmd_bench(args)

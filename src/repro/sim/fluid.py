@@ -23,23 +23,40 @@ randomly (proportional effectiveness loss) when a target shrinks. A job's
 *effective* bytes are promoted to the key's resident bytes at each of its
 epoch boundaries, and initialised from resident bytes when it starts —
 which is how dataset sharing pays off immediately (§7.3).
+
+Backends
+--------
+The per-event sweeps over the active set (advance, next-event search,
+completion/epoch detection) live in a columnar
+:class:`~repro.sim.jobtable.JobTable`, and per-key cache residency in a
+:class:`~repro.cache.residency.ResidencyStore`; both are numpy-backed
+when available and pure Python under ``REPRO_NO_NUMPY=1``, with
+bit-identical results either way (the ``repro.perf`` equivalence
+contract — see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.base import CacheSystem, StorageContext, StorageDecision
+from repro.cache.base import (
+    CacheSystem,
+    StorageBatchHints,
+    StorageContext,
+    StorageDecision,
+)
+from repro.cache.residency import make_residency_store
 from repro.cluster.hardware import Cluster
-from repro.cluster.job import Job, JobPhase, JobProgress
+from repro.cluster.job import _EPOCH_SNAP_MB, Job, JobPhase, JobProgress
 from repro.core.policies.gavel import fairness_ratio
 from repro.core.resources import Allocation, ResourceVector
 from repro.core.silod import SiloDScheduler
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import ScheduleLike, as_schedule
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.perf.backend import numpy_enabled, require_numpy
+from repro.sim.jobtable import JobTable
 from repro.sim.metrics import JobRecord, RunResult, TimelineSample
 
 #: Work below this many MB counts as "done" (guards float drift).
@@ -48,13 +65,55 @@ _WORK_EPS_MB = 1e-3
 _RATE_EPS = 1e-9
 
 
-@dataclasses.dataclass
-class _CacheKeyState:
-    """Resident bytes and placement target for one cache key."""
+class _EpochView:
+    """Per-allocation-epoch gathers over the running set.
 
-    size_mb: float  # dataset size (fill ceiling)
-    resident_mb: float = 0.0
-    target_mb: float = 0.0
+    The storage decision runs on every epoch boundary, but its per-job
+    inputs — who is running, their table rows, GPU grants, compute
+    bounds, dataset sizes, remote-IO allocations — only change when the
+    scheduler re-allocates (membership changes always trigger a
+    reschedule before the next decision). Gathering them once per
+    allocation epoch turns the per-decision cost from O(jobs) Python
+    loops into a few dict lookups.
+
+    The view is rebuilt lazily after every invalidation; consumers must
+    treat every field (including ``gpu_grants``) as read-only.
+    """
+
+    __slots__ = (
+        "running",
+        "job_ids",
+        "queued",
+        "rows",
+        "gpu_grants",
+        "f_stars",
+        "hints",
+        "keys_list",
+        "key_codes",
+        "job_keys",
+        "store_rows",
+        "store_rows_version",
+    )
+
+    running: List[Job]
+    job_ids: List[str]
+    queued: List[Job]
+    rows: List[Optional[int]]
+    gpu_grants: Dict[str, float]
+    f_stars: List[float]
+    hints: StorageBatchHints
+    #: Distinct cache keys of the running set, first-sharer order; with
+    #: ``key_codes`` (small-int key per running job, numpy) and
+    #: ``job_keys`` (key string per running job) these make the rate
+    #: recompute's per-key grouping pure array math. ``None`` under the
+    #: pure-Python backend.
+    keys_list: Optional[List[str]]
+    key_codes: object
+    job_keys: Optional[List[str]]
+    #: Lazy ``resolve_fill_rows`` result over ``keys_list`` (store row
+    #: per key code), revalidated against the store's keyset version.
+    store_rows: object
+    store_rows_version: int
 
 
 class FluidSimulator:
@@ -150,17 +209,58 @@ class FluidSimulator:
         #: Jobs held out of scheduling by an explicit ``job_preempt``.
         self._blocked: set = set()
 
+        #: Event-loop iterations processed (``repro bench`` events/sec).
+        self.loop_events = 0
+        #: Scheduling rounds run (``repro bench`` rounds/sec).
+        self.sched_rounds = 0
+
         self.clock_s = 0.0
         self._arrival_idx = 0
         self._active: Dict[str, JobProgress] = {}
         self._finished: List[JobProgress] = []
-        self._cache: Dict[str, _CacheKeyState] = {}
+        #: Per-key residency/target state (dict or numpy columns).
+        self._cache = make_residency_store()
+        #: Columnar per-job progress and rates for the hot sweeps.
+        self._table = JobTable(
+            capacity=len(jobs),
+            rate_eps=_RATE_EPS,
+            work_eps_mb=_WORK_EPS_MB,
+            snap_mb=_EPOCH_SNAP_MB,
+        )
+        #: Cache key per admitted job (``cache_key`` is deterministic, so
+        #: it is computed once at admission instead of per event).
+        self._job_key: Dict[str, str] = {}
+        #: ``(key, [(job_id, miss_rate), ...])`` for jobs currently
+        #: filling their key, refreshed by every rate recompute — the
+        #: advance loop walks this short grouping instead of the whole
+        #: active set.
+        self._filler_groups: List[Tuple[str, List[Tuple[str, float]]]] = []
+        #: ``_filler_groups`` split by contributor count: single-filler
+        #: keys run through the store's bulk fill plan, shared keys take
+        #: the scalar exponential path (``math.exp`` — deliberately never
+        #: vectorized, see docs/PERFORMANCE.md).
+        self._filler_singles: List[Tuple[str, float]] = []
+        self._filler_multis: List[
+            Tuple[str, List[Tuple[str, float]]]
+        ] = []
+        #: Store-prepared fill plan for the single-filler keys (lazy).
+        self._fill_plan = None
+        #: Columnar source for the fill plan — ``(epoch view, key codes,
+        #: rates)`` from the vectorized rate recompute; ``None`` when the
+        #: recompute produced ``_filler_singles`` pairs instead.
+        self._fill_src = None
+        #: Per-allocation-epoch job gathers (lazy; see ``_epoch_view``).
+        self._epoch: Optional[_EpochView] = None
+        #: ``(cache_targets, store plan)`` of the last applied decision;
+        #: reused while the decision and the key set are unchanged.
+        self._targets_plan: Optional[Tuple[Dict[str, float], object]] = None
+        #: Active sharers per cache key (admission order), so eviction's
+        #: effectiveness scaling touches only the key's own jobs.
+        self._key_jobs: Dict[str, List[str]] = {}
         self._effective: Dict[str, float] = {}
         self._epochs_done: Dict[str, int] = {}
         self._allocation = Allocation()
         self._decision = StorageDecision({}, {}, {})
-        self._throughput: Dict[str, float] = {}
-        self._miss_rate: Dict[str, float] = {}
         self._timeline: List[TimelineSample] = []
 
     # ------------------------------------------------------------------
@@ -176,6 +276,7 @@ class FluidSimulator:
         for _ in range(max_events):
             if self._done():
                 break
+            self.loop_events += 1
             candidates = [self._next_arrival_time()]
             if self._active:
                 candidates.append(next_reschedule)
@@ -219,7 +320,21 @@ class FluidSimulator:
         else:
             raise RuntimeError("fluid simulation exceeded the event budget")
         self._sample()
+        self._publish_counters()
         return self._result()
+
+    def _publish_counters(self) -> None:
+        """Push the run's loop/round totals into the obs registry.
+
+        ``repro bench`` reads these through a fresh (disabled)
+        ``NullTracer`` — counting costs nothing in the hot loop and the
+        shared :data:`~repro.obs.tracer.NULL_TRACER` singleton is never
+        written.
+        """
+        if self._tracer is NULL_TRACER:
+            return
+        self._tracer.metrics.inc("sim.events", float(self.loop_events))
+        self._tracer.metrics.inc("sim.sched_rounds", float(self.sched_rounds))
 
     # ------------------------------------------------------------------
     # Event timing.
@@ -234,23 +349,17 @@ class FluidSimulator:
         return max(self.clock_s, self._trace[self._arrival_idx].submit_time_s)
 
     def _next_completion_time(self) -> float:
-        best = math.inf
-        for progress in self._active.values():
-            rate = self._throughput.get(progress.job.job_id, 0.0)
-            if rate > _RATE_EPS:
-                best = min(best, self.clock_s + progress.remaining_work_mb / rate)
-        return best
+        return self._table.next_completion_time(self.clock_s)
 
     def _next_epoch_boundary_time(self) -> float:
-        best = math.inf
-        for progress in self._active.values():
-            rate = self._throughput.get(progress.job.job_id, 0.0)
-            if rate <= _RATE_EPS:
-                continue
-            to_boundary = progress.work_to_epoch_boundary_mb
-            if to_boundary < progress.remaining_work_mb - _WORK_EPS_MB:
-                best = min(best, self.clock_s + to_boundary / rate)
-        return best
+        return self._table.next_epoch_boundary_time(self.clock_s)
+
+    def _key_of(self, job: Job) -> str:
+        """The job's cache key (precomputed at admission when possible)."""
+        key = self._job_key.get(job.job_id)
+        if key is None:
+            key = self.cache_system.cache_key(job)
+        return key
 
     # ------------------------------------------------------------------
     # Time advancement.
@@ -261,11 +370,8 @@ class FluidSimulator:
         if dt <= 0:
             self.clock_s = max(self.clock_s, t)
             return
-        # Job progress.
-        for progress in self._active.values():
-            rate = self._throughput.get(progress.job.job_id, 0.0)
-            if rate > _RATE_EPS:
-                progress.advance(rate * dt)
+        # Job progress (one masked sweep over the job table).
+        self._table.advance(dt)
         # Cache fill. A job's own misses are by definition items it has
         # not read this epoch and that are not effective for it, so they
         # are always *new* to the cache when the job is the key's only
@@ -274,60 +380,100 @@ class FluidSimulator:
         # have been fetched by another; the duplicate probability is
         # approximated by the resident fraction, giving the exponential
         # ODE dR/dt = (d - R) * K with K = sum_j m_j / (d - eff_j).
-        fillers: Dict[str, List] = {}
-        for progress in self._active.values():
-            job = progress.job
-            miss = self._miss_rate.get(job.job_id, 0.0)
-            if miss <= _RATE_EPS:
-                continue
-            key = self.cache_system.cache_key(job)
-            state = self._cache.get(key)
-            if state is None or state.resident_mb >= state.target_mb - 1e-9:
-                continue
-            fillers.setdefault(key, []).append(
-                (miss, self._effective.get(job.job_id, 0.0))
-            )
+        # Only jobs with a positive miss rate can fill, and that set is
+        # fixed between rate recomputes — walk the precomputed list.
+        store = self._cache
         tracer = self._tracer
-        for key, contributions in fillers.items():
-            state = self._cache[key]
-            cap = min(state.target_mb, state.size_mb)
-            if len(contributions) == 1:
-                miss, _eff = contributions[0]
-                filled = state.resident_mb + miss * dt
-            else:
+        if tracer.enabled:
+            # The tracing path walks every group scalar-wise so each
+            # key's cache_admit event carries its exact before/after.
+            for key, contribs in self._filler_groups:
+                snap = store.snapshot(key)
+                if snap is None:
+                    continue
+                size_mb, resident_mb, target_mb = snap
+                if resident_mb >= target_mb - 1e-9:
+                    continue
+                contributions = [
+                    (miss, self._effective.get(job_id, 0.0))
+                    for job_id, miss in contribs
+                ]
+                cap = min(target_mb, size_mb)
+                if len(contributions) == 1:
+                    miss, _eff = contributions[0]
+                    filled = resident_mb + miss * dt
+                else:
+                    k = sum(
+                        miss / max(1e-9, size_mb - eff)
+                        for miss, eff in contributions
+                    )
+                    filled = size_mb - (size_mb - resident_mb) * math.exp(
+                        -k * dt
+                    )
+                before = resident_mb
+                new_resident = min(cap, filled)
+                store.set_resident_mb(key, new_resident)
+                if new_resident - before > 1e-6:
+                    tracer.cache_admit(
+                        t,
+                        key,
+                        delta_mb=new_resident - before,
+                        resident_mb=new_resident,
+                        via="miss",
+                    )
+        else:
+            # Single-filler keys: one store-level bulk plan (linear fill,
+            # bit-identical to the scalar arithmetic above). The plan
+            # caches the key->row resolution between rate recomputes and
+            # reports staleness if the key set changed underneath.
+            plan = self._fill_plan
+            if plan is None:
+                plan = self._build_fill_plan()
+            if plan is not None and not store.run_fill_plan(plan, dt):
+                # Keyset changed under the plan: re-resolve and retry.
+                plan = self._build_fill_plan()
+                if plan is not None:
+                    store.run_fill_plan(plan, dt)
+            # Shared keys solve the exponential ODE with math.exp — kept
+            # scalar on purpose: np.exp is not guaranteed bit-identical
+            # to libm's exp (see docs/PERFORMANCE.md).
+            for key, contribs in self._filler_multis:
+                snap = store.snapshot(key)
+                if snap is None:
+                    continue
+                size_mb, resident_mb, target_mb = snap
+                if resident_mb >= target_mb - 1e-9:
+                    continue
                 k = sum(
-                    miss / max(1e-9, state.size_mb - eff)
-                    for miss, eff in contributions
+                    miss
+                    / max(1e-9, size_mb - self._effective.get(job_id, 0.0))
+                    for job_id, miss in contribs
                 )
-                filled = state.size_mb - (
-                    state.size_mb - state.resident_mb
-                ) * math.exp(-k * dt)
-            before = state.resident_mb
-            state.resident_mb = min(cap, filled)
-            if tracer.enabled and state.resident_mb - before > 1e-6:
-                tracer.cache_admit(
-                    t,
-                    key,
-                    delta_mb=state.resident_mb - before,
-                    resident_mb=state.resident_mb,
-                    via="miss",
+                filled = size_mb - (size_mb - resident_mb) * math.exp(
+                    -k * dt
+                )
+                store.set_resident_mb(
+                    key, min(min(target_mb, size_mb), filled)
                 )
         # Hoard-style prefetching: spare egress warms queued datasets.
-        for key, rate in self._decision.prefetch_rates.items():
-            state = self._cache.get(key)
-            if state is None or rate <= 0:
-                continue
-            cap = min(state.target_mb, state.size_mb)
-            before = state.resident_mb
-            state.resident_mb = min(cap, state.resident_mb + rate * dt)
-            if tracer.enabled and state.resident_mb - before > 1e-6:
-                tracer.cache_admit(
-                    t,
-                    key,
-                    delta_mb=state.resident_mb - before,
-                    resident_mb=state.resident_mb,
-                    via="prefetch",
-                )
+        if self._decision.prefetch_rates:
+            for key, rate in self._decision.prefetch_rates.items():
+                snap = store.snapshot(key)
+                if snap is None or rate <= 0:
+                    continue
+                size_mb, resident_mb, target_mb = snap
+                cap = min(target_mb, size_mb)
+                before = resident_mb
+                new_resident = min(cap, resident_mb + rate * dt)
+                store.set_resident_mb(key, new_resident)
+                if tracer.enabled and new_resident - before > 1e-6:
+                    tracer.cache_admit(
+                        t,
+                        key,
+                        delta_mb=new_resident - before,
+                        resident_mb=new_resident,
+                        via="prefetch",
+                    )
         # New admissions may not push the pool past its capacity: data of
         # unallocated (stale) keys is reclaimed to make room, exactly as
         # a real cache evicts unpinned blocks on admission.
@@ -349,6 +495,12 @@ class FluidSimulator:
             self._arrival_idx += 1
             self._active[job.job_id] = JobProgress(job=job)
             self._epochs_done[job.job_id] = 0
+            self._table.admit(
+                job.job_id, job.total_work_mb, job.dataset.size_mb
+            )
+            key = self.cache_system.cache_key(job)
+            self._job_key[job.job_id] = key
+            self._key_jobs.setdefault(key, []).append(job.job_id)
             if self._tracer.enabled:
                 self._tracer.job_submit(
                     job.submit_time_s,
@@ -360,34 +512,47 @@ class FluidSimulator:
                     total_work_mb=job.total_work_mb,
                 )
             changed = True
+        if changed:
+            self._invalidate_epoch_view()
         return changed
 
     def _retire_completions(self) -> bool:
         changed = False
-        for job_id in list(self._active):
+        for row in self._table.completed_rows():
+            job_id = self._table.job_id(row)
             progress = self._active[job_id]
-            if progress.remaining_work_mb <= _WORK_EPS_MB:
-                progress.phase = JobPhase.FINISHED
-                progress.finish_time_s = self.clock_s
-                self._finished.append(progress)
-                del self._active[job_id]
-                if self._tracer.enabled:
-                    # epoch_index counts completed epochs at this point
-                    # (unlike _epochs_done, which excludes the final
-                    # epoch — its boundary coincides with completion).
-                    self._tracer.job_finish(
-                        self.clock_s,
-                        job_id,
-                        jct_s=self.clock_s - progress.job.submit_time_s,
-                        epochs_done=progress.epoch_index,
-                    )
-                self._effective.pop(job_id, None)
-                self._throughput.pop(job_id, None)
-                self._miss_rate.pop(job_id, None)
-                if self.cache_system.per_job_keys:
-                    # Private caches die with their jobs.
-                    self._cache.pop(job_id, None)
-                changed = True
+            # Sync the (otherwise table-resident) work counter so the
+            # progress object retires with its true final state.
+            progress.work_done_mb = self._table.work_done_mb(row)
+            progress.phase = JobPhase.FINISHED
+            progress.finish_time_s = self.clock_s
+            self._finished.append(progress)
+            del self._active[job_id]
+            self._table.retire(row)
+            if self._tracer.enabled:
+                # epoch_index counts completed epochs at this point
+                # (unlike _epochs_done, which excludes the final
+                # epoch — its boundary coincides with completion).
+                self._tracer.job_finish(
+                    self.clock_s,
+                    job_id,
+                    jct_s=self.clock_s - progress.job.submit_time_s,
+                    epochs_done=progress.epoch_index,
+                )
+            self._effective.pop(job_id, None)
+            key = self._job_key.get(job_id)
+            sharers = self._key_jobs.get(key)
+            if sharers is not None:
+                # The emptied list stays: it records "no active sharer"
+                # and spares _scale_effective the O(active) fallback scan
+                # every time this stale key is later shrunk/reclaimed.
+                sharers.remove(job_id)
+            if self.cache_system.per_job_keys:
+                # Private caches die with their jobs.
+                self._cache.pop(job_id)
+            changed = True
+        if changed:
+            self._invalidate_epoch_view()
         return changed
 
     def _inject_faults(self) -> bool:
@@ -403,11 +568,12 @@ class FluidSimulator:
             self._loss_times.pop(0)
             n = max(1, len(self.cluster.servers))
             survival = (n - 1) / n
-            for key, state in self._cache.items():
+            # Churn is rare and touches every key once; the scan is fine.
+            # lint: disable=PERF001
+            for key in self._cache.keys():
                 self._shrink(
                     key,
-                    state,
-                    state.resident_mb * survival,
+                    self._cache.resident_mb(key) * survival,
                     reason="server_loss",
                 )
             changed = True
@@ -467,18 +633,18 @@ class FluidSimulator:
         """
         ratio = max(0.0, 1.0 - fraction)
         tracer = self._tracer
-        for key in sorted(self._cache):
-            state = self._cache[key]
-            if state.resident_mb <= 0:
+        for key in sorted(self._cache.keys()):
+            before = self._cache.resident_mb(key)
+            if before <= 0:
                 continue
-            before = state.resident_mb
-            state.resident_mb = before * ratio
-            if tracer.enabled and before - state.resident_mb > 1e-6:
+            after = before * ratio
+            self._cache.set_resident_mb(key, after)
+            if tracer.enabled and before - after > 1e-6:
                 tracer.cache_invalidate(
                     self.clock_s,
                     key,
-                    delta_mb=before - state.resident_mb,
-                    resident_mb=state.resident_mb,
+                    delta_mb=before - after,
+                    resident_mb=after,
                     cause=cause,
                 )
             self._scale_effective(key, ratio)
@@ -488,8 +654,13 @@ class FluidSimulator:
         progress = self._active.get(job_id)
         if progress is None:
             return
+        row = self._table.row_of(job_id)
+        if row is not None:
+            progress.work_done_mb = self._table.work_done_mb(row)
         rollback = progress.epoch_position_mb
         progress.work_done_mb = max(0.0, progress.work_done_mb - rollback)
+        if row is not None:
+            self._table.set_work_done_mb(row, progress.work_done_mb)
         if self._tracer.enabled:
             self._tracer.job_preempt(
                 self.clock_s,
@@ -502,31 +673,27 @@ class FluidSimulator:
     def _promote_epoch_boundaries(self) -> bool:
         """Detect epoch crossings; promote resident -> effective (§6)."""
         flipped = False
-        for progress in self._active.values():
-            job = progress.job
-            epochs_now = progress.epoch_index
-            if progress.done:
-                continue
-            if epochs_now > self._epochs_done.get(job.job_id, 0):
-                self._epochs_done[job.job_id] = epochs_now
-                key = self.cache_system.cache_key(job)
-                state = self._cache.get(key)
-                resident = state.resident_mb if state else 0.0
-                self._effective[job.job_id] = min(
-                    job.dataset.size_mb, resident
+        for row, epochs_now in self._table.epoch_flips():
+            job_id = self._table.job_id(row)
+            job = self._active[job_id].job
+            self._epochs_done[job_id] = epochs_now
+            self._table.set_epochs_done(row, epochs_now)
+            key = self._job_key[job_id]
+            snap = self._cache.snapshot(key)
+            resident = snap[1] if snap is not None else 0.0
+            self._effective[job_id] = min(job.dataset.size_mb, resident)
+            if self._tracer.enabled:
+                self._tracer.epoch_boundary(
+                    self.clock_s, job_id, epoch=epochs_now
                 )
-                if self._tracer.enabled:
-                    self._tracer.epoch_boundary(
-                        self.clock_s, job.job_id, epoch=epochs_now
-                    )
-                    self._tracer.promote_effective(
-                        self.clock_s,
-                        job.job_id,
-                        key=key,
-                        effective_mb=self._effective[job.job_id],
-                        reason="epoch_boundary",
-                    )
-                flipped = True
+                self._tracer.promote_effective(
+                    self.clock_s,
+                    job_id,
+                    key=key,
+                    effective_mb=self._effective[job_id],
+                    reason="epoch_boundary",
+                )
+            flipped = True
         return flipped
 
     # ------------------------------------------------------------------
@@ -534,6 +701,7 @@ class FluidSimulator:
     # ------------------------------------------------------------------
 
     def _reschedule(self) -> None:
+        self.sched_rounds += 1
         jobs = [
             p.job
             for p in self._active.values()
@@ -549,8 +717,24 @@ class FluidSimulator:
                 job.job_id, 0.0
             ),
             attained_service_s=self._attained_service_s,
+            # The dict behind the lambda above, for the policies' per-job
+            # hot loops (identical values by construction).
+            effective_cache_map=self._effective,
         )
-        for progress in self._active.values():
+        self._invalidate_epoch_view()
+        if tracer.enabled:
+            start_candidates = self._active.values()
+        else:
+            # Only granted jobs can start; walking the (short) grant dict
+            # beats scanning the whole active set. State outcomes are
+            # identical — starts are independent per job — but the
+            # traced path keeps active-set order for stable event order.
+            start_candidates = [
+                self._active[job_id]
+                for job_id, gpus in self._allocation.gpus.items()
+                if gpus > 0 and job_id in self._active
+            ]
+        for progress in start_candidates:
             job_id = progress.job.job_id
             if self._allocation.gpus_of(job_id) > 0:
                 if progress.start_time_s is None:
@@ -558,11 +742,11 @@ class FluidSimulator:
                     progress.phase = JobPhase.RUNNING
                     # A freshly started job immediately benefits from data
                     # already resident for its dataset (sharing, §7.3).
-                    key = self.cache_system.cache_key(progress.job)
-                    state = self._cache.get(key)
+                    key = self._key_of(progress.job)
+                    snap = self._cache.snapshot(key)
                     self._effective[job_id] = min(
                         progress.job.dataset.size_mb,
-                        state.resident_mb if state else 0.0,
+                        snap[1] if snap is not None else 0.0,
                     )
                     if tracer.enabled:
                         tracer.job_start(
@@ -604,11 +788,13 @@ class FluidSimulator:
         progress = self._active.get(job.job_id)
         if progress is None or job.ideal_throughput_mbps <= 0:
             return 0.0
-        return (
-            progress.work_done_mb
-            / job.ideal_throughput_mbps
-            * job.num_gpus
+        row = self._table.row_of(job.job_id)
+        work_done_mb = (
+            self._table.work_done_mb(row)
+            if row is not None
+            else progress.work_done_mb
         )
+        return work_done_mb / job.ideal_throughput_mbps * job.num_gpus
 
     def _running_jobs(self) -> List[Job]:
         return [
@@ -617,20 +803,99 @@ class FluidSimulator:
             if self._allocation.gpus_of(p.job.job_id) > 0
         ]
 
-    def _active_jobs(self) -> List[Job]:
-        return [p.job for p in self._active.values()]
+    def _invalidate_epoch_view(self) -> None:
+        """Drop per-epoch gathers (membership/allocation changed)."""
+        self._epoch = None
+        self._targets_plan = None
+
+    def _epoch_view(self) -> _EpochView:
+        """The current allocation epoch's job gathers (built lazily)."""
+        view = self._epoch
+        if view is not None:
+            return view
+        view = _EpochView()
+        allocation = self._allocation
+        gpu_map = allocation.gpus
+        running: List[Job] = []
+        queued: List[Job] = []
+        for progress in self._active.values():
+            job = progress.job
+            if gpu_map.get(job.job_id, 0.0) > 0:
+                running.append(job)
+            else:
+                queued.append(job)
+        job_ids = [job.job_id for job in running]
+        table = self._table
+        view.running = running
+        view.job_ids = job_ids
+        view.queued = queued
+        view.rows = [table.row_of(job_id) for job_id in job_ids]
+        view.gpu_grants = dict(gpu_map)
+        f_stars = self.scheduler.estimator.compute_bound_batch(
+            running, [gpu_map.get(job_id, 0.0) for job_id in job_ids]
+        )
+        view.f_stars = f_stars
+        rates_arr = size_arr = io_alloc_arr = None
+        view.keys_list = view.key_codes = view.job_keys = None
+        view.store_rows = None
+        view.store_rows_version = -1
+        if numpy_enabled() and running:
+            np = require_numpy()
+            n = len(running)
+            rates_arr = np.asarray(f_stars, float)
+            size_arr = np.fromiter(
+                (job.dataset.size_mb for job in running), float, count=n
+            )
+            io_map = allocation.remote_io
+            io_alloc_arr = np.fromiter(
+                (io_map.get(job_id, 0.0) for job_id in job_ids),
+                float,
+                count=n,
+            )
+            # Key identity per running job, encoded as small ints so the
+            # rate recompute can group fillers by key without a per-job
+            # Python loop.
+            key_index: Dict[str, int] = {}
+            keys_list: List[str] = []
+            job_keys: List[str] = []
+            codes: List[int] = []
+            for job in running:
+                key = self._key_of(job)
+                job_keys.append(key)
+                code = key_index.get(key)
+                if code is None:
+                    code = len(keys_list)
+                    key_index[key] = code
+                    keys_list.append(key)
+                codes.append(code)
+            view.keys_list = keys_list
+            view.key_codes = np.asarray(codes, dtype=np.intp)
+            view.job_keys = job_keys
+        # The positive-grant filter every decide would rebuild; the
+        # epoch's decisions share this one dict (read-only per the
+        # hints contract).
+        targets = {
+            name: cache_mb
+            for name, cache_mb in allocation.cache.items()
+            if cache_mb > 0
+        }
+        view.hints = StorageBatchHints(
+            job_ids=job_ids,
+            rates=f_stars,
+            effective=self._effective,
+            rates_arr=rates_arr,
+            size_arr=size_arr,
+            io_alloc_arr=io_alloc_arr,
+            targets=targets,
+        )
+        self._epoch = view
+        return view
 
     def _storage_decide(self) -> None:
-        running = self._running_jobs()
-        running_ids = {job.job_id for job in running}
-        queued = [
-            p.job
-            for p in self._active.values()
-            if p.job.job_id not in running_ids
-        ]
+        view = self._epoch_view()
         ctx = StorageContext(
-            running_jobs=running,
-            gpu_grants=dict(self._allocation.gpus),
+            running_jobs=view.running,
+            gpu_grants=view.gpu_grants,
             total_gpus=self.total.gpus,
             total_cache_mb=self.total.cache_mb,
             total_io_mbps=self.total.remote_io_mbps,
@@ -642,34 +907,47 @@ class FluidSimulator:
             estimator=self.scheduler.estimator,
             clock_s=self.clock_s,
             scheduler_allocation=self._allocation,
-            queued_jobs=queued,
+            queued_jobs=view.queued,
             tracer=self._tracer,
+            batch=view.hints,
         )
         self._decision = self.cache_system.decide(ctx)
-        self._apply_targets(self._active_jobs())
-        self._recompute_rates(running)
+        self._apply_targets()
+        self._recompute_rates(view.running)
 
-    def _apply_targets(self, running: Sequence[Job]) -> None:
+    def _apply_targets(self) -> None:
         targets = self._decision.cache_targets
+        store = self._cache
+        cached = self._targets_plan
+        if cached is not None and cached[0] == targets:
+            # Same decision against the same key set: replay the
+            # store-prepared plan (clear_targets_except is a no-op — no
+            # key gained a target since the full application below).
+            over = store.apply_targets_prepared(cached[1])
+            if over is not None:
+                for key, new_target in over:
+                    self._shrink(key, new_target)
+                self._reclaim_overshoot()
+                return
+        # Dataset size per targeted key, from its most recently admitted
+        # active sharer — the job whose write would win the historical
+        # full scan over the active set.
         sizes = {}
-        for job in running:
-            sizes[self.cache_system.cache_key(job)] = job.dataset.size_mb
+        for key in targets:
+            sharers = self._key_jobs.get(key)
+            if sharers:
+                sizes[key] = self._active[
+                    sharers[-1]
+                ].job.dataset.size_mb
         # Keys the current decision does not mention are unallocated:
         # their target drops to zero so the oversubscription pass below
         # can reclaim them. Their data stays resident opportunistically
         # until that happens (uniform caching never evicts eagerly).
-        for key, state in self._cache.items():
-            if key not in targets:
-                state.target_mb = 0.0
-        for key, target in targets.items():
-            state = self._cache.get(key)
-            if state is None:
-                state = _CacheKeyState(size_mb=sizes.get(key, target))
-                self._cache[key] = state
-            state.size_mb = max(state.size_mb, sizes.get(key, state.size_mb))
-            state.target_mb = min(target, state.size_mb)
-            if state.resident_mb > state.target_mb + 1e-9:
-                self._shrink(key, state, state.target_mb)
+        self._cache.clear_targets_except(targets)
+        plan = store.prepare_targets(targets, sizes)
+        self._targets_plan = (dict(targets), plan)
+        for key, new_target in store.apply_targets_prepared(plan) or ():
+            self._shrink(key, new_target)
         # Keys without a current target keep their data only while the
         # total pool is not oversubscribed (uniform caching never evicts
         # eagerly); stale keys are evicted first when space is needed.
@@ -683,101 +961,271 @@ class FluidSimulator:
         targets themselves oversubscribe (a misbehaving cache system),
         everything is scaled back proportionally as a backstop.
         """
-        total_resident = sum(s.resident_mb for s in self._cache.values())
-        overshoot = total_resident - self.total.cache_mb
+        store = self._cache
+        overshoot = store.total_resident_mb() - self.total.cache_mb
         if overshoot <= 1e-6:
             return
-        for key in sorted(
-            self._cache,
-            key=lambda k: self._cache[k].target_mb,
-        ):
-            state = self._cache[key]
-            slack = state.resident_mb - state.target_mb
-            if slack <= 0:
-                continue
-            cut = min(slack, overshoot)
-            self._shrink(
-                key, state, state.resident_mb - cut, reason="reclaim"
-            )
+        # The store pre-filters to over-resident keys in stale-first
+        # order; the cut sequence stays a Python loop because the
+        # running `overshoot -= cut` subtraction chain is order- and
+        # rounding-sensitive.
+        for key, resident_mb, target_mb in store.reclaim_candidates():
+            cut = min(resident_mb - target_mb, overshoot)
+            self._shrink(key, resident_mb - cut, reason="reclaim")
             overshoot -= cut
             if overshoot <= 1e-6:
                 return
         if overshoot > 1e-6:
-            total = sum(s.resident_mb for s in self._cache.values())
+            total = store.total_resident_mb()
             if total > 0:
                 factor = self.total.cache_mb / total
-                for key, state in self._cache.items():
+                # Proportional backstop: already off-nominal, full scan.
+                # lint: disable=PERF001
+                for key in store.keys():
                     self._shrink(
                         key,
-                        state,
-                        state.resident_mb * factor,
+                        store.resident_mb(key) * factor,
                         reason="reclaim",
                     )
 
     def _shrink(
         self,
         key: str,
-        state: _CacheKeyState,
         new_mb: float,
         reason: str = "target_shrink",
     ) -> None:
         """Random eviction to ``new_mb``: effectiveness shrinks in ratio."""
-        if state.resident_mb <= 0:
+        before = self._cache.resident_mb(key)
+        if before <= 0:
             return
-        ratio = max(0.0, new_mb) / state.resident_mb
-        before = state.resident_mb
-        state.resident_mb = max(0.0, new_mb)
-        if self._tracer.enabled and before - state.resident_mb > 1e-6:
+        ratio = max(0.0, new_mb) / before
+        after = max(0.0, new_mb)
+        self._cache.set_resident_mb(key, after)
+        if self._tracer.enabled and before - after > 1e-6:
             self._tracer.cache_evict(
                 self.clock_s,
                 key,
-                delta_mb=before - state.resident_mb,
-                resident_mb=state.resident_mb,
+                delta_mb=before - after,
+                resident_mb=after,
                 reason=reason,
             )
         self._scale_effective(key, ratio)
 
     def _scale_effective(self, key: str, ratio: float) -> None:
         """Shrink every sharer's effective bytes after a random eviction."""
-        for progress in self._active.values():
-            job = progress.job
-            if self.cache_system.cache_key(job) == key:
-                self._effective[job.job_id] = (
-                    self._effective.get(job.job_id, 0.0) * ratio
-                )
+        job_ids = self._key_jobs.get(key)
+        if job_ids is None:
+            # No admitted sharer tracks this key (e.g. state injected by
+            # white-box tests): fall back to scanning the active set.
+            job_ids = [
+                p.job.job_id
+                for p in self._active.values()
+                if self._key_of(p.job) == key
+            ]
+        for job_id in job_ids:
+            self._effective[job_id] = (
+                self._effective.get(job_id, 0.0) * ratio
+            )
 
     def _recompute_rates(self, running: Sequence[Job]) -> None:
-        self._throughput = {}
-        self._miss_rate = {}
-        estimator = self.scheduler.estimator
-        for job in running:
-            gpus = self._allocation.gpus_of(job.job_id)
-            f_star = estimator.compute_bound(job, gpus)
-            hit = min(1.0, max(0.0, self._decision.hit_ratios.get(job.job_id, 0.0)))
-            miss = 1.0 - hit
-            grant = self._decision.io_grants.get(job.job_id, 0.0)
-            if miss <= 1e-12:
-                rate = f_star
+        table = self._table
+        table.clear_rates()
+        view = self._epoch
+        if view is not None and view.running is running:
+            # The per-epoch gathers cover exactly this job list.
+            running = view.running
+            f_stars = view.f_stars
+            job_ids = view.job_ids
+            rows = view.rows
+            f_arr = view.hints.rates_arr
+        else:
+            view = None
+            running = list(running)
+            f_stars = self.scheduler.estimator.compute_bound_batch(
+                running,
+                [self._allocation.gpus_of(job.job_id) for job in running],
+            )
+            job_ids = [job.job_id for job in running]
+            rows = [table.row_of(job_id) for job_id in job_ids]
+            f_arr = None
+        hit_ratios = self._decision.hit_ratios
+        io_grants = self._decision.io_grants
+        n = len(running)
+        groups: Dict[str, List[Tuple[str, float]]] = {}
+        if table.backend == "vectorized" and n >= 8:
+            np = require_numpy()
+            if f_arr is None:
+                f_arr = np.asarray(f_stars, float)
+            batch = self._decision.batch
+            if batch is not None and batch.job_ids is job_ids:
+                # The decision's columnar mirror is aligned with this
+                # epoch's job list — skip the dict gathers entirely.
+                hit_src = batch.hit_arr
+                grant = batch.io_grant_arr
             else:
-                rate = min(f_star, grant / miss)
-            self._throughput[job.job_id] = rate
-            self._miss_rate[job.job_id] = rate * miss
+                hit_src = np.fromiter(
+                    (hit_ratios.get(jid, 0.0) for jid in job_ids),
+                    float,
+                    count=n,
+                )
+                grant = np.fromiter(
+                    (io_grants.get(jid, 0.0) for jid in job_ids),
+                    float,
+                    count=n,
+                )
+            hit = np.minimum(1.0, np.maximum(0.0, hit_src))
+            miss = 1.0 - hit
+            # Same selection as the scalar branch below: the division's
+            # inf/nan where miss vanishes is discarded by the where().
+            with np.errstate(divide="ignore", invalid="ignore"):
+                io_rate = grant / miss
+            rate_arr = np.where(
+                miss <= 1e-12, f_arr, np.minimum(f_arr, io_rate)
+            )
+            miss_arr = rate_arr * miss
+            table.set_rates_bulk(rows, rate_arr, miss_arr)
+            if (
+                view is not None
+                and view.key_codes is not None
+                and not self._tracer.enabled
+                and self._cache.backend == "vectorized"
+            ):
+                # Columnar grouping: count positive-miss fillers per key
+                # with bincount; single-filler keys become the fill
+                # plan's (code, rate) columns directly, shared keys drop
+                # to the (short) scalar exponential list. No events are
+                # emitted in this mode, so ``_filler_groups`` (the
+                # traced walk's structure) stays empty.
+                codes = view.key_codes
+                pos = np.nonzero(miss_arr > 0)[0]
+                singles_codes = rates_of_singles = None
+                multis: Dict[str, List[Tuple[str, float]]] = {}
+                if pos.size:
+                    counts = np.bincount(
+                        codes[pos], minlength=len(view.keys_list)
+                    )
+                    sharers = counts[codes[pos]]
+                    single_i = pos[sharers == 1]
+                    if single_i.size:
+                        singles_codes = codes[single_i]
+                        rates_of_singles = miss_arr[single_i]
+                    multi_i = pos[sharers > 1]
+                    if multi_i.size:
+                        job_keys = view.job_keys
+                        for i, miss_rate in zip(
+                            multi_i.tolist(),
+                            miss_arr[multi_i].tolist(),
+                        ):
+                            multis.setdefault(job_keys[i], []).append(
+                                (job_ids[i], miss_rate)
+                            )
+                self._filler_groups = []
+                self._filler_singles = []
+                self._filler_multis = list(multis.items())
+                self._fill_src = (
+                    (view, singles_codes, rates_of_singles)
+                    if singles_codes is not None
+                    else None
+                )
+                self._fill_plan = None
+                return
+            miss_list = miss_arr.tolist()
+            for i in np.nonzero(miss_arr > 0)[0].tolist():
+                job_id = job_ids[i]
+                groups.setdefault(self._job_key[job_id], []).append(
+                    (job_id, miss_list[i])
+                )
+        else:
+            rates: List[float] = []
+            miss_rates: List[float] = []
+            for job_id, f_star in zip(job_ids, f_stars):
+                hit = min(1.0, max(0.0, hit_ratios.get(job_id, 0.0)))
+                miss = 1.0 - hit
+                grant = io_grants.get(job_id, 0.0)
+                if miss <= 1e-12:
+                    rate = f_star
+                else:
+                    rate = min(f_star, grant / miss)
+                miss_rate = rate * miss
+                rates.append(rate)
+                miss_rates.append(miss_rate)
+                if miss_rate > 0:
+                    groups.setdefault(self._job_key[job_id], []).append(
+                        (job_id, miss_rate)
+                    )
+            table.set_rates_bulk(rows, rates, miss_rates)
+        # Only these jobs can fill the cache until the next recompute;
+        # _advance_to walks this per-key grouping (keys in first-filler
+        # order, contributions in running order) instead of the whole
+        # active set. Single-filler keys (linear fill) additionally get
+        # a store-level bulk plan; shared keys keep the scalar
+        # exponential path.
+        self._filler_groups = list(groups.items())
+        singles: List[Tuple[str, float]] = []
+        multis: List[Tuple[str, List[Tuple[str, float]]]] = []
+        for key, contribs in self._filler_groups:
+            if len(contribs) == 1:
+                singles.append((key, contribs[0][1]))
+            else:
+                multis.append((key, contribs))
+        self._filler_singles = singles
+        self._filler_multis = multis
+        self._fill_src = None
+        self._fill_plan = None
+
+    def _build_fill_plan(self):
+        """Assemble the store fill plan for the current single fillers.
+
+        The columnar source resolves key codes to store rows through the
+        epoch view's (keyset-versioned) row cache — missing keys are
+        dropped exactly as ``make_fill_plan`` skips them; the pair-list
+        source delegates to the store. Returns ``None`` when there is
+        nothing to fill.
+        """
+        store = self._cache
+        src = self._fill_src
+        if src is not None:
+            view, codes, rates = src
+            if (
+                view.store_rows is None
+                or view.store_rows_version != store.keyset_version
+            ):
+                view.store_rows_version, view.store_rows = (
+                    store.resolve_fill_rows(view.keys_list)
+                )
+            rows = view.store_rows[codes]
+            found = rows >= 0
+            if not found.all():
+                rows = rows[found]
+                rates = rates[found]
+            plan = store.fill_plan_from_rows(
+                view.store_rows_version, rows, rates
+            )
+        elif self._filler_singles:
+            plan = store.make_fill_plan(self._filler_singles)
+        else:
+            plan = None
+        self._fill_plan = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Sampling and results.
     # ------------------------------------------------------------------
 
     def _sample(self) -> None:
-        running = self._running_jobs()
+        view = self._epoch_view()
+        running = view.running
+        table = self._table
         estimator = self.scheduler.estimator
-        ideal = sum(
-            estimator.compute_bound(
-                job, self._allocation.gpus_of(job.job_id)
-            )
-            for job in running
-        )
-        achieved = sum(self._throughput.get(j.job_id, 0.0) for j in running)
-        io_used = sum(self._miss_rate.get(j.job_id, 0.0) for j in running)
+        ideal = sum(view.f_stars)
+        throughput: Dict[str, float] = {}
+        miss_rate: Dict[str, float] = {}
+        for job, row in zip(running, view.rows):
+            if row is not None:
+                throughput[job.job_id] = table.rate(row)
+                miss_rate[job.job_id] = table.miss_rate(row)
+        achieved = sum(throughput.get(j.job_id, 0.0) for j in running)
+        io_used = sum(miss_rate.get(j.job_id, 0.0) for j in running)
         mature = [
             job
             for job in running
@@ -785,7 +1233,7 @@ class FluidSimulator:
         ]
         fairness = fairness_ratio(
             mature,
-            self._throughput,
+            throughput,
             self.total,
             estimator,
             storage_aware=True,
@@ -794,15 +1242,15 @@ class FluidSimulator:
         # Figure 8's view: bytes allocated to *running* jobs (stale data
         # of departed jobs lingers but is not "allocated") vs the bytes
         # their jobs can actually hit.
-        live_keys = {self.cache_system.cache_key(job) for job in running}
+        live_keys = {self._key_of(job) for job in running}
         resident = sum(
-            state.resident_mb
-            for key, state in self._cache.items()
+            self._cache.resident_mb(key)
+            for key in self._cache.keys()
             if key in live_keys
         )
         by_key: Dict[str, float] = {}
         for job in running:
-            key = self.cache_system.cache_key(job)
+            key = self._key_of(job)
             by_key[key] = max(
                 by_key.get(key, 0.0), self._effective.get(job.job_id, 0.0)
             )

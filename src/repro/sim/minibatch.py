@@ -190,6 +190,12 @@ class MinibatchEmulator:
         #: Jobs held out of scheduling by an explicit ``job_preempt``.
         self._blocked: set = set()
 
+        #: Training steps (item fetch+compute) emulated — the emulator's
+        #: unit of work for ``repro bench`` events/sec.
+        self.loop_events = 0
+        #: Scheduling rounds run (``repro bench`` rounds/sec).
+        self.sched_rounds = 0
+
         self.clock_s = 0.0
         self._arrival_idx = 0
         self._active: Dict[str, _JobRuntime] = {}
@@ -232,7 +238,20 @@ class MinibatchEmulator:
             self.clock_s = t_end
         self._retire_completions()
         self._sample()
+        self._publish_counters()
         return self._result()
+
+    def _publish_counters(self) -> None:
+        """Push the run's step/round totals into the obs registry.
+
+        Mirrors :meth:`repro.sim.fluid.FluidSimulator._publish_counters`;
+        the shared :data:`~repro.obs.tracer.NULL_TRACER` singleton is
+        never written.
+        """
+        if self._tracer is NULL_TRACER:
+            return
+        self._tracer.metrics.inc("sim.events", float(self.loop_events))
+        self._tracer.metrics.inc("sim.sched_rounds", float(self.sched_rounds))
 
     # ------------------------------------------------------------------
 
@@ -421,6 +440,7 @@ class MinibatchEmulator:
         return runtime.effective_items * self._item_size_mb
 
     def _reschedule(self) -> None:
+        self.sched_rounds += 1
         jobs = [
             rt.job
             for rt in self._active.values()
@@ -732,7 +752,9 @@ class MinibatchEmulator:
         target_items = int(
             self._decision.cache_targets.get(key, 0.0) / self._item_size_mb
         )
+        steps = 0
         while rt.comp_free_t < t_end and not rt.done:
+            steps += 1
             item = (key, rt.next_item())
             if self._is_lru:
                 hit = self._lru_pool.access(item)
@@ -794,6 +816,7 @@ class MinibatchEmulator:
                     )
             if rt.done:
                 rt.finish_time_s = rt.comp_free_t
+        self.loop_events += steps
 
     # ------------------------------------------------------------------
     # Sampling and results.

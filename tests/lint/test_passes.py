@@ -8,6 +8,7 @@ from repro.lint import build_passes, lint_paths
 from repro.lint.passes.determinism import DeterminismPass
 from repro.lint.passes.floateq import FloatEqualityPass
 from repro.lint.passes.obs_schema import ObsSchemaPass
+from repro.lint.passes.perf import PerfPass
 from repro.lint.passes.policy import PolicyConformancePass
 from repro.lint.passes.units import UnitsPass
 
@@ -46,6 +47,12 @@ CASES = [
         "policy_bad.py",
         {"POL001", "POL002", "POL003"},
         "policy_good.py",
+    ),
+    (
+        PerfPass,
+        "perf_bad.py",
+        {"PERF001"},
+        "perf_good.py",
     ),
 ]
 
@@ -112,6 +119,21 @@ def test_obs_pass_reports_field_drift_detail():
     assert "missing fields ['epochs_done']" in messages
     assert "extra fields ['mood']" in messages
     assert "['flavour']" in messages  # helper-call drift
+
+
+def test_perf_pass_only_covers_vectorized_modules(tmp_path):
+    """The same sweep is legal in a module that never opted in."""
+    source = FIXTURES / "perf_bad.py"
+    opted_out = tmp_path / "plain.py"
+    opted_out.write_text(
+        "\n".join(
+            line
+            for line in source.read_text().splitlines()
+            if "repro.perf.backend" not in line
+        )
+        + "\n"
+    )
+    assert lint_paths([opted_out], [PerfPass()]) == []
 
 
 def test_build_passes_selects_by_name_and_rule():

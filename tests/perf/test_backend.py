@@ -1,0 +1,67 @@
+"""The ``REPRO_NO_NUMPY`` backend switch (``repro.perf.backend``)."""
+
+import os
+
+import pytest
+
+from repro.perf.backend import (
+    BACKEND_FALLBACK,
+    BACKEND_VECTORIZED,
+    NO_NUMPY_ENV,
+    backend_name,
+    numpy_enabled,
+    require_numpy,
+    using_backend,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def test_env_flag_forces_fallback(monkeypatch):
+    monkeypatch.setenv(NO_NUMPY_ENV, "1")
+    assert not numpy_enabled()
+    assert backend_name() == BACKEND_FALLBACK
+
+
+def test_zero_and_empty_flag_keep_numpy(monkeypatch):
+    for value in ("", "0"):
+        monkeypatch.setenv(NO_NUMPY_ENV, value)
+        assert numpy_enabled()
+        assert backend_name() == BACKEND_VECTORIZED
+
+
+def test_require_numpy_raises_under_fallback(monkeypatch):
+    monkeypatch.setenv(NO_NUMPY_ENV, "1")
+    with pytest.raises(RuntimeError, match="fallback"):
+        require_numpy()
+
+
+def test_require_numpy_returns_module(monkeypatch):
+    monkeypatch.delenv(NO_NUMPY_ENV, raising=False)
+    np = require_numpy()
+    assert hasattr(np, "fromiter")
+
+
+def test_using_backend_restores_environment(monkeypatch):
+    monkeypatch.delenv(NO_NUMPY_ENV, raising=False)
+    with using_backend(BACKEND_FALLBACK):
+        assert backend_name() == BACKEND_FALLBACK
+    assert NO_NUMPY_ENV not in os.environ
+    monkeypatch.setenv(NO_NUMPY_ENV, "1")
+    with using_backend(BACKEND_VECTORIZED):
+        assert backend_name() == BACKEND_VECTORIZED
+    assert os.environ[NO_NUMPY_ENV] == "1"
+
+
+def test_using_backend_auto_is_a_noop(monkeypatch):
+    monkeypatch.setenv(NO_NUMPY_ENV, "1")
+    with using_backend(None):
+        assert backend_name() == BACKEND_FALLBACK
+    with using_backend("auto"):
+        assert backend_name() == BACKEND_FALLBACK
+
+
+def test_using_backend_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown backend"):
+        with using_backend("simd"):
+            pass

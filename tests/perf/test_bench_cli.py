@@ -1,0 +1,95 @@
+"""``repro bench`` end-to-end: measure, write, list, and compare."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import SCENARIOS, SUITES, run_scenario
+from repro.perf.cli import main
+from repro.perf.record import BENCH_SCHEMA_VERSION, load_record, write_record
+
+pytestmark = pytest.mark.perf
+
+TINY = ["--scenario", "fluid_tiny"]
+
+
+def test_catalogue_contains_roadmap_scale_points():
+    assert "fluid_10k_2k" in SCENARIOS
+    assert SCENARIOS["fluid_10k_2k"].num_jobs == 10000
+    assert SCENARIOS["fluid_10k_2k"].num_gpus == 2000
+    for suite, names in SUITES.items():
+        assert all(name in SCENARIOS for name in names), suite
+
+
+def test_list_mode_prints_catalogue(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fluid_10k_2k" in out
+    assert "scale" in out
+
+
+def test_bench_writes_schema_versioned_artifact(tmp_path, capsys):
+    assert main(TINY + ["--out-dir", str(tmp_path)]) == 0
+    path = tmp_path / "BENCH_fluid_tiny.json"
+    record = load_record(path)
+    assert record.schema_version == BENCH_SCHEMA_VERSION
+    assert record.scenario == "fluid_tiny"
+    assert record.jobs_finished == record.num_jobs == 40
+    assert record.events_total > 0
+    assert record.rounds_total > 0
+    assert record.wall_time_s > 0
+    assert record.events_per_sec > 0
+    out = capsys.readouterr().out
+    assert "fluid_tiny" in out
+    assert "BENCH_fluid_tiny.json" in out
+
+
+def test_no_write_leaves_no_artifact(tmp_path, capsys):
+    assert main(TINY + ["--out-dir", str(tmp_path), "--no-write"]) == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_compare_self_passes_and_regression_fails(tmp_path, capsys):
+    record = run_scenario(SCENARIOS["fluid_tiny"])
+    baseline = tmp_path / "BENCH_fluid_tiny.json"
+    write_record(record, baseline)
+
+    # Same machine, generous threshold: anchors match, metrics within
+    # tolerance -> exit 0.
+    assert main(["--compare", str(baseline), "--threshold", "5.0",
+                 "--no-write"]) == 0
+
+    # An absurdly fast fabricated baseline makes the re-run regress.
+    raw = record.to_dict()
+    raw["events_per_sec"] = record.events_per_sec * 1000.0
+    raw["rounds_per_sec"] = record.rounds_per_sec * 1000.0
+    fast = tmp_path / "fast.json"
+    fast.write_text(json.dumps(raw))
+    assert main(["--compare", str(fast), "--threshold", "0.25",
+                 "--no-write"]) == 2
+    out = capsys.readouterr().out
+    assert "[REGRESSED]" in out
+
+
+def test_compare_detects_anchor_drift(tmp_path, capsys):
+    record = run_scenario(SCENARIOS["fluid_tiny"])
+    raw = record.to_dict()
+    raw["jobs_finished"] = record.jobs_finished - 1
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(raw))
+    # Even an infinite threshold cannot excuse diverging simulations.
+    assert main(["--compare", str(drifted), "--threshold", "100.0",
+                 "--no-write"]) == 2
+    assert "[DRIFT]" in capsys.readouterr().out
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        main(["--scenario", "fluid_1e9_jobs", "--no-write"])
+
+
+def test_backend_flag_is_recorded(tmp_path):
+    assert main(TINY + ["--backend", "fallback",
+                        "--out-dir", str(tmp_path)]) == 0
+    record = load_record(tmp_path / "BENCH_fluid_tiny.json")
+    assert record.backend == "fallback"

@@ -1,0 +1,170 @@
+"""Schema-versioned bench records and ``--compare`` semantics."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.perf.record import (
+    ARTIFACT_SCHEMA_VERSION,
+    BENCH_FIELDS,
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    compare_records,
+    has_failures,
+    load_benchmark_artifact,
+    load_record,
+    write_benchmark_artifact,
+    write_record,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def record(**overrides) -> BenchRecord:
+    base = dict(
+        schema_version=BENCH_SCHEMA_VERSION,
+        scenario="fluid_smoke",
+        simulator="fluid",
+        policy="fifo",
+        cache="silod",
+        num_jobs=120,
+        num_gpus=64,
+        backend="vectorized",
+        wall_time_s=2.0,
+        peak_rss_mb=100.0,
+        events_total=1000,
+        events_per_sec=500.0,
+        rounds_total=40,
+        rounds_per_sec=20.0,
+        sim_time_s=86400.0,
+        jobs_finished=120,
+        avg_jct_min=42.5,
+        created_utc="2026-08-07T00:00:00Z",
+        host={"python": "3.11.7"},
+    )
+    base.update(overrides)
+    return BenchRecord(**base)
+
+
+def test_bench_fields_match_dataclass_order():
+    assert BENCH_FIELDS == tuple(
+        f.name for f in dataclasses.fields(BenchRecord)
+    )
+    assert BENCH_FIELDS[0] == "schema_version"
+
+
+def test_write_load_roundtrip(tmp_path):
+    rec = record()
+    path = write_record(rec, tmp_path / "BENCH_fluid_smoke.json")
+    assert load_record(path) == rec
+    # The JSON layout preserves field declaration order.
+    assert list(json.loads(path.read_text())) == list(BENCH_FIELDS)
+
+
+def test_load_rejects_wrong_schema_version(tmp_path):
+    path = write_record(record(schema_version=99), tmp_path / "b.json")
+    with pytest.raises(ValueError, match="schema version"):
+        load_record(path)
+
+
+def test_load_rejects_unknown_and_missing_fields(tmp_path):
+    raw = record().to_dict()
+    raw["surprise"] = 1
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps(raw))
+    with pytest.raises(ValueError, match="unknown bench fields"):
+        load_record(path)
+    del raw["surprise"]
+    del raw["wall_time_s"]
+    path.write_text(json.dumps(raw))
+    with pytest.raises(ValueError, match="missing bench fields"):
+        load_record(path)
+
+
+def test_compare_flags_throughput_drop_only():
+    baseline = record()
+    same = compare_records(record(), baseline, threshold=0.25)
+    assert not has_failures(same)
+    slower = compare_records(
+        record(events_per_sec=300.0), baseline, threshold=0.25
+    )
+    assert has_failures(slower)
+    regressed = [d.metric for d in slower if d.regressed]
+    assert regressed == ["events_per_sec"]
+    # Faster-than-baseline never regresses a throughput metric.
+    faster = compare_records(
+        record(events_per_sec=5000.0, rounds_per_sec=200.0),
+        baseline,
+        threshold=0.25,
+    )
+    assert not has_failures(faster)
+
+
+def test_compare_flags_cost_rise_only():
+    baseline = record()
+    bloated = compare_records(
+        record(peak_rss_mb=200.0, wall_time_s=1.0),
+        baseline,
+        threshold=0.25,
+    )
+    assert [d.metric for d in bloated if d.regressed] == ["peak_rss_mb"]
+
+
+def test_compare_within_threshold_passes():
+    deltas = compare_records(
+        record(wall_time_s=2.4, events_per_sec=420.0),
+        record(),
+        threshold=0.25,
+    )
+    assert not has_failures(deltas)
+
+
+def test_compare_flags_anchor_drift():
+    deltas = compare_records(
+        record(jobs_finished=119), record(), threshold=0.25
+    )
+    drifted = [d.metric for d in deltas if d.drift]
+    assert drifted == ["jobs_finished"]
+    assert has_failures(deltas)
+
+
+def test_compare_rejects_identity_mismatch():
+    with pytest.raises(ValueError, match="scenario differs"):
+        compare_records(record(scenario="other"), record(), threshold=0.25)
+    with pytest.raises(ValueError, match="num_gpus differs"):
+        compare_records(record(num_gpus=128), record(), threshold=0.25)
+
+
+def test_compare_rejects_negative_threshold():
+    with pytest.raises(ValueError, match="non-negative"):
+        compare_records(record(), record(), threshold=-0.1)
+
+
+def test_delta_render_marks_failures():
+    deltas = compare_records(
+        record(events_per_sec=10.0, jobs_finished=119),
+        record(),
+        threshold=0.25,
+    )
+    rendered = "\n".join(d.render() for d in deltas)
+    assert "[REGRESSED]" in rendered
+    assert "[DRIFT]" in rendered
+
+
+def test_benchmark_artifact_roundtrip(tmp_path):
+    path = write_benchmark_artifact(
+        "ext_sweep", "cells", {"cells": [{"gpus": 16}]}, tmp_path
+    )
+    assert path.name == "ext_sweep.json"
+    raw = load_benchmark_artifact(path)
+    assert raw["schema_version"] == ARTIFACT_SCHEMA_VERSION
+    assert raw["kind"] == "cells"
+    assert raw["data"] == {"cells": [{"gpus": 16}]}
+
+
+def test_benchmark_artifact_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema_version": 0, "data": None}))
+    with pytest.raises(ValueError, match="schema version"):
+        load_benchmark_artifact(path)

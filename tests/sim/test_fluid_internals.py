@@ -10,7 +10,7 @@ import pytest
 from repro.cluster.dataset import Dataset
 from repro.cluster.hardware import Cluster
 from repro.cluster.job import Job, JobProgress
-from repro.sim.fluid import FluidSimulator, _CacheKeyState
+from repro.sim.fluid import FluidSimulator
 from repro.sim.runner import make_system
 
 GB = 1024.0
@@ -33,18 +33,26 @@ def job(job_id, d_gb=10.0):
     )
 
 
+def put_key(sim, key, size_mb, resident_mb, target_mb):
+    """Seed one residency-store entry (backend-agnostic)."""
+    sim._cache.ensure(key, size_mb)
+    sim._cache.set_size_mb(key, size_mb)
+    sim._cache.set_resident_mb(key, resident_mb)
+    sim._cache.set_target_mb(key, target_mb)
+
+
 class TestShrink:
     def test_random_eviction_scales_effectiveness(self):
         j = job("a")
         sim = make_sim([j])
         sim._active[j.job_id] = JobProgress(job=j)
-        state = _CacheKeyState(
-            size_mb=10.0 * GB, resident_mb=8.0 * GB, target_mb=8.0 * GB
+        put_key(
+            sim, "d-a", size_mb=10.0 * GB, resident_mb=8.0 * GB,
+            target_mb=8.0 * GB,
         )
-        sim._cache["d-a"] = state
         sim._effective["a"] = 6.0 * GB
-        sim._shrink("d-a", state, 4.0 * GB)
-        assert state.resident_mb == pytest.approx(4.0 * GB)
+        sim._shrink("d-a", 4.0 * GB)
+        assert sim._cache.resident_mb("d-a") == pytest.approx(4.0 * GB)
         # Effectiveness halves with the resident bytes (random victims).
         assert sim._effective["a"] == pytest.approx(3.0 * GB)
 
@@ -52,50 +60,46 @@ class TestShrink:
         j = job("a")
         sim = make_sim([j])
         sim._active[j.job_id] = JobProgress(job=j)
-        state = _CacheKeyState(size_mb=GB, resident_mb=GB, target_mb=GB)
-        sim._cache["d-a"] = state
+        put_key(sim, "d-a", size_mb=GB, resident_mb=GB, target_mb=GB)
         sim._effective["a"] = GB
-        sim._shrink("d-a", state, 0.0)
-        assert state.resident_mb == 0.0
+        sim._shrink("d-a", 0.0)
+        assert sim._cache.resident_mb("d-a") == 0.0
         assert sim._effective["a"] == 0.0
 
 
 class TestReclaimOvershoot:
     def test_stale_keys_reclaimed_first(self):
         sim = make_sim(cache_gb=10.0)
-        sim._cache["stale"] = _CacheKeyState(
-            size_mb=8.0 * GB, resident_mb=8.0 * GB, target_mb=0.0
+        put_key(
+            sim, "stale", size_mb=8.0 * GB, resident_mb=8.0 * GB,
+            target_mb=0.0,
         )
-        sim._cache["live"] = _CacheKeyState(
-            size_mb=6.0 * GB, resident_mb=6.0 * GB, target_mb=6.0 * GB
+        put_key(
+            sim, "live", size_mb=6.0 * GB, resident_mb=6.0 * GB,
+            target_mb=6.0 * GB,
         )
         sim._reclaim_overshoot()
-        total = sum(s.resident_mb for s in sim._cache.values())
-        assert total <= 10.0 * GB + 1e-6
+        assert sim._cache.total_resident_mb() <= 10.0 * GB + 1e-6
         # The allocated key is untouched; the stale one paid.
-        assert sim._cache["live"].resident_mb == pytest.approx(6.0 * GB)
-        assert sim._cache["stale"].resident_mb == pytest.approx(4.0 * GB)
+        assert sim._cache.resident_mb("live") == pytest.approx(6.0 * GB)
+        assert sim._cache.resident_mb("stale") == pytest.approx(4.0 * GB)
 
     def test_proportional_backstop_when_targets_oversubscribe(self):
         sim = make_sim(cache_gb=10.0)
         # A misbehaving cache system targeted 2x the pool.
         for name in ("a", "b"):
-            sim._cache[name] = _CacheKeyState(
-                size_mb=10.0 * GB,
-                resident_mb=10.0 * GB,
+            put_key(
+                sim, name, size_mb=10.0 * GB, resident_mb=10.0 * GB,
                 target_mb=10.0 * GB,
             )
         sim._reclaim_overshoot()
-        total = sum(s.resident_mb for s in sim._cache.values())
-        assert total <= 10.0 * GB * (1 + 1e-6)
+        assert sim._cache.total_resident_mb() <= 10.0 * GB * (1 + 1e-6)
 
     def test_no_action_when_under_budget(self):
         sim = make_sim(cache_gb=10.0)
-        sim._cache["a"] = _CacheKeyState(
-            size_mb=GB, resident_mb=GB, target_mb=GB
-        )
+        put_key(sim, "a", size_mb=GB, resident_mb=GB, target_mb=GB)
         sim._reclaim_overshoot()
-        assert sim._cache["a"].resident_mb == pytest.approx(GB)
+        assert sim._cache.resident_mb("a") == pytest.approx(GB)
 
 
 class TestAttainedService:

@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Check docs/OBSERVABILITY.md and docs/FAULTS.md against the code.
+"""Check docs/OBSERVABILITY.md, docs/FAULTS.md and docs/PERFORMANCE.md
+against the code.
 
 The event schema has two sources: ``repro.obs.events`` (what the code
 emits and validates) and ``docs/OBSERVABILITY.md`` (what operators read).
@@ -14,6 +15,10 @@ The fault subsystem gets the same treatment: every fault kind in
 (``repro.obs.events.FAULT_TYPES``) must be mentioned there, so the spec
 reference cannot silently fall behind the engine.
 
+So does the benchmark artifact schema: the ``### `bench_record` ``
+field table in ``docs/PERFORMANCE.md`` must list exactly
+``repro.perf.record.BENCH_FIELDS``.
+
 Run directly (``python tools/check_obs_docs.py``) or via the tier-1
 test ``tests/obs/test_docs_consistency.py``.
 """
@@ -27,6 +32,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 FAULTS_DOC_PATH = REPO_ROOT / "docs" / "FAULTS.md"
+PERF_DOC_PATH = REPO_ROOT / "docs" / "PERFORMANCE.md"
 
 _HEADING = re.compile(r"^### `(?P<name>[a-z_]+)`\s*$")
 _TABLE_ROW = re.compile(r"^\| `(?P<field>[a-z_]+)` \|")
@@ -110,11 +116,35 @@ def check_faults_doc(
     return problems
 
 
+def check_perf_doc(text: str, bench_fields: list) -> list:
+    """Drift messages for docs/PERFORMANCE.md vs the bench schema."""
+    documented = parse_doc_schema(text).get("bench_record")
+    if documented is None:
+        return [
+            "docs/PERFORMANCE.md has no '### `bench_record`' field table"
+        ]
+    problems = []
+    missing = [f for f in bench_fields if f not in documented]
+    extra = [f for f in documented if f not in bench_fields]
+    if missing:
+        problems.append(
+            f"bench_record: fields {missing} in "
+            f"repro.perf.record.BENCH_FIELDS but undocumented"
+        )
+    if extra:
+        problems.append(
+            f"bench_record: fields {extra} documented but not in "
+            f"repro.perf.record.BENCH_FIELDS"
+        )
+    return problems
+
+
 def main() -> int:
     """Run the check; print drift and return the exit code."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.faults.spec import FAULT_KINDS
     from repro.obs.events import EVENT_FIELDS, FAULT_TYPES
+    from repro.perf.record import BENCH_FIELDS
 
     doc_schema = parse_doc_schema(DOC_PATH.read_text())
     code_fields = {k: list(v) for k, v in EVENT_FIELDS.items()}
@@ -129,6 +159,12 @@ def main() -> int:
                 list(FAULT_TYPES),
             )
         )
+    if not PERF_DOC_PATH.exists():
+        problems.append("docs/PERFORMANCE.md is missing")
+    else:
+        problems.extend(
+            check_perf_doc(PERF_DOC_PATH.read_text(), list(BENCH_FIELDS))
+        )
     if problems:
         for problem in problems:
             print(f"DRIFT: {problem}", file=sys.stderr)
@@ -136,7 +172,8 @@ def main() -> int:
     print(
         f"docs/OBSERVABILITY.md in sync: {len(code_fields)} event types, "
         f"{sum(len(v) for v in code_fields.values())} fields; "
-        f"docs/FAULTS.md in sync: {len(FAULT_KINDS)} fault kinds"
+        f"docs/FAULTS.md in sync: {len(FAULT_KINDS)} fault kinds; "
+        f"docs/PERFORMANCE.md in sync: {len(BENCH_FIELDS)} bench fields"
     )
     return 0
 

@@ -5,8 +5,16 @@
 #      the source tree, with the checked-in (empty) baseline; a stale
 #      baseline entry also fails, so the baseline can only shrink.
 #   2. docs/schema sync        — tools/check_obs_docs.py keeps
-#      docs/OBSERVABILITY.md and docs/FAULTS.md truthful.
+#      docs/OBSERVABILITY.md, docs/FAULTS.md and docs/PERFORMANCE.md
+#      truthful.
 #   3. the tier-1 pytest suite.
+#   4. perf smoke              — `repro bench --compare` of the tiny
+#      fluid scenario against the checked-in fallback-backend baseline
+#      (benchmarks/baselines/BENCH_fluid_tiny.json). Result anchors
+#      must match bit-for-bit ([DRIFT] fails: the simulation changed);
+#      the timing threshold is deliberately generous (3x) because CI
+#      machines vary — this stage catches drift and order-of-magnitude
+#      slowdowns, not noise. See docs/PERFORMANCE.md.
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -22,3 +30,7 @@ python tools/check_obs_docs.py
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
+
+echo "== perf smoke (bench --compare) =="
+python -m repro bench --backend fallback --no-write --threshold 3.0 \
+    --compare benchmarks/baselines/BENCH_fluid_tiny.json
