@@ -154,6 +154,19 @@ class CacheSystem(abc.ABC):
     def decide(self, ctx: StorageContext) -> StorageDecision:
         """Compute placement targets, hit ratios, and IO grants."""
 
+    def reallocate(self, ctx: StorageContext) -> StorageDecision:
+        """Incremental re-allocation entry point for running systems.
+
+        Batch runs, epoch boundaries, fault recovery, and the online
+        service (``repro.serve``) all re-divide the cache through this
+        one method, so online mode cannot drift from batch mode. The
+        default delegates to :meth:`decide`; stateful systems may
+        override it to reuse work across consecutive rounds, but must
+        return bit-identical decisions to ``decide`` on the same
+        context.
+        """
+        return self.decide(ctx)
+
     def reset(self) -> None:
         """Clear any internal profiling state between simulation runs."""
 

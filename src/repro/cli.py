@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the end-to-end workflow:
+Eight subcommands cover the end-to-end workflow:
 
 * ``trace``     — generate a synthetic trace (JSON Lines) and print its
   summary statistics;
@@ -12,12 +12,17 @@ Six subcommands cover the end-to-end workflow:
 * ``estimate``  — evaluate the closed-form SiloDPerf model for a single
   allocation (a calculator for Eq 4 / Eq 5);
 * ``report``    — render timeline / scheduler-audit / cache tables from
-  an event log written by ``run --events``;
+  an event log written by ``run --events``, or tail a live service with
+  ``--tail HOST:PORT``;
+* ``serve``     — run the long-lived online scheduler service: job
+  submissions over a line-JSON socket against simulated virtual time
+  (see ``docs/SERVE.md``);
 * ``lint``      — run the AST-based invariant linter (``repro.lint``)
   over the source tree (see ``docs/LINT.md``);
-* ``bench``     — run the scaling-scenario benchmark suite and write
-  repo-root ``BENCH_<scenario>.json`` artifacts; ``--compare`` gates
-  against a baseline record (see ``docs/PERFORMANCE.md``).
+* ``bench``     — run the scaling-scenario benchmark suite (including
+  the online ``serve_*`` scenarios) and write repo-root
+  ``BENCH_<scenario>.json`` artifacts; ``--compare`` gates against a
+  baseline record (see ``docs/PERFORMANCE.md``).
 
 See ``docs/CLI.md`` for worked invocations and ``docs/OBSERVABILITY.md``
 for the event schema.
@@ -36,6 +41,7 @@ from repro.core import perf_model
 from repro.faults import FaultSchedule, generate_churn
 from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.perf.cli import configure_parser as configure_bench_parser
+from repro.serve.cli import configure_parser as configure_serve_parser
 from repro.obs import (
     Tracer,
     load_events,
@@ -232,8 +238,36 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tail_events(target: str):
+    """Subscribe to a running serve instance; return its full event log.
+
+    Blocks until the service drains (the subscriber stream ends), so the
+    rendered report covers the whole run — exactly what ``report`` on a
+    saved log would show.
+    """
+    from repro.obs.events import Event
+    from repro.serve.client import ServeClient
+
+    host, _, port = target.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--tail expects HOST:PORT, got {target!r}")
+    print(f"tailing {host}:{port} (report renders when the service exits)")
+    events = []
+    with ServeClient(host, int(port)) as client:
+        for obj in client.tail():
+            if obj.get("kind") == "repro-events":
+                continue  # stream header
+            events.append(Event.from_dict(obj))
+    return events
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    events = load_events(args.events)
+    if args.tail:
+        events = _tail_events(args.tail)
+    elif args.events:
+        events = load_events(args.events)
+    else:
+        raise SystemExit("report needs an event-log path or --tail HOST:PORT")
     print(render_report(events, bins=args.bins))
     if args.chrome_trace:
         save_chrome_trace(events, args.chrome_trace)
@@ -397,7 +431,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser(
         "report", help="summarize an event log from `run --events`"
     )
-    p_report.add_argument("events", help="event-log JSONL path")
+    p_report.add_argument(
+        "events", nargs="?", default=None,
+        help="event-log JSONL path (omit with --tail)",
+    )
+    p_report.add_argument(
+        "--tail",
+        default=None,
+        metavar="HOST:PORT",
+        help="subscribe to a running `repro serve` instance and render "
+        "the report when it drains (instead of reading a saved log)",
+    )
     p_report.add_argument(
         "--bins",
         type=int,
@@ -427,6 +471,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the perf benchmark suite (repro.perf)"
     )
     configure_bench_parser(p_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived online scheduler service (repro.serve)",
+    )
+    configure_serve_parser(p_serve)
     return parser
 
 

@@ -27,6 +27,9 @@ class JobPhase(enum.Enum):
     PENDING = "pending"
     RUNNING = "running"
     FINISHED = "finished"
+    #: Withdrawn by an online cancellation (``repro.serve``); the job
+    #: retires immediately with no finish time.
+    CANCELLED = "cancelled"
 
 
 @dataclasses.dataclass

@@ -38,6 +38,8 @@ RULES: Dict[str, str] = {
     "OBS002": "emitted event fields do not match the declared schema",
     "OBS003": "repro.obs.events schema is internally inconsistent "
     "(EVENT_TYPES vs EVENT_FIELDS drift)",
+    "OBS004": "service-lifecycle event (SERVICE_TYPES) emitted outside "
+    "repro/serve/ (only the online service narrates its own life)",
     "POL001": "policy class does not implement the SchedulingPolicy "
     "interface (schedule() and a `name` attribute)",
     "POL002": "policy module imports simulator internals (repro.sim)",

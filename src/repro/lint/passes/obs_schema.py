@@ -12,7 +12,15 @@ invariant.
 * ``OBS002`` — an emit (or typed-helper call on a tracer) whose keyword
   fields do not match the declared field set;
 * ``OBS003`` — ``EVENT_TYPES`` and ``EVENT_FIELDS`` disagreeing with
-  each other inside ``events.py`` itself.
+  each other inside ``events.py`` itself;
+* ``OBS004`` — a service-lifecycle event
+  (:data:`repro.obs.events.SERVICE_TYPES`) emitted outside the
+  ``repro/serve/`` package. Those events narrate the *service's* life
+  (start/stop, admission rejections, clock changes); a simulator or
+  cache system emitting them would let a batch run masquerade as an
+  online one and break the serve/batch event-log equivalence contract.
+  The typed helpers in ``obs/tracer.py`` are the one exemption — they
+  define the emission API the service calls.
 
 Dynamic event types (a variable holding the type) are skipped — the
 runtime validator (:func:`repro.obs.events.validate_event`) still
@@ -59,7 +67,7 @@ class ObsSchemaPass(LintPass):
     """Check emit sites against the declared event schema."""
 
     name = "obs-schema"
-    rules = ("OBS001", "OBS002", "OBS003")
+    rules = ("OBS001", "OBS002", "OBS003", "OBS004")
 
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan emit calls; self-check the schema module itself."""
@@ -75,13 +83,40 @@ class ObsSchemaPass(LintPass):
                 continue
             if func.attr == "emit":
                 findings.extend(self._check_emit(src, node, events))
+                etype = self._resolve_etype(node, events)
+                if etype in events.SERVICE_TYPES:
+                    findings.extend(
+                        self._check_service_scope(src, node, etype)
+                    )
             elif func.attr in events.EVENT_FIELDS and _receiver_is_tracer(
                 func
             ):
                 findings.extend(
                     self._check_helper_call(src, node, func.attr, events)
                 )
+                if func.attr in events.SERVICE_TYPES:
+                    findings.extend(
+                        self._check_service_scope(src, node, func.attr)
+                    )
         return findings
+
+    def _check_service_scope(
+        self, src: SourceFile, node: ast.Call, etype: str
+    ) -> List[Finding]:
+        """OBS004: service-lifecycle events belong to ``repro/serve/``."""
+        rel = src.rel_path
+        if "repro/serve/" in rel or rel.endswith("obs/tracer.py"):
+            return []
+        return [
+            src.finding(
+                node,
+                "OBS004",
+                f"service-lifecycle event {etype!r} emitted outside "
+                "repro/serve/; only the online service may narrate "
+                "service start/stop, admission rejections, and clock "
+                "changes (see docs/SERVE.md)",
+            )
+        ]
 
     def _check_schema_consistency(
         self, src: SourceFile, events

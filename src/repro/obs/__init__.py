@@ -20,6 +20,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     FAULT_TYPES,
     LIFECYCLE_TYPES,
+    SERVICE_TYPES,
     Event,
     validate_event,
 )
@@ -37,6 +38,7 @@ from repro.obs.report import (
     save_timeline_csv,
     timeline_rows,
 )
+from repro.obs.stream import StreamingTracer
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -45,10 +47,12 @@ __all__ = [
     "EVENT_FIELDS",
     "FAULT_TYPES",
     "LIFECYCLE_TYPES",
+    "SERVICE_TYPES",
     "validate_event",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "StreamingTracer",
     "MetricsRegistry",
     "save_events",
     "load_events",

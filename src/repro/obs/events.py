@@ -40,6 +40,15 @@ Event types
 ``job_preempt`` / ``job_restart``
     A job was preempted by a fault (rolled back to its last epoch
     boundary) / released from an explicit ``job_preempt`` hold.
+``service_start`` / ``service_stop`` / ``job_reject`` / ``clock_set``
+    The online service lifecycle (``repro.serve``): the long-running
+    scheduler came up / drained and exited / bounced a submission off
+    the admission queue / had its virtual clock reconfigured. Only the
+    service may emit these (lint rule OBS004); batch runs never do, so
+    they are excluded from equivalence anchors.
+``job_cancel``
+    A job was withdrawn online before finishing (emitted by the
+    simulators' ``cancel_job``, so it is not service-scoped).
 """
 
 from __future__ import annotations
@@ -63,6 +72,11 @@ NODE_UP = "node_up"
 CACHE_INVALIDATE = "cache_invalidate"
 JOB_PREEMPT = "job_preempt"
 JOB_RESTART = "job_restart"
+SERVICE_START = "service_start"
+SERVICE_STOP = "service_stop"
+JOB_REJECT = "job_reject"
+JOB_CANCEL = "job_cancel"
+CLOCK_SET = "clock_set"
 
 #: Every event type, in documentation order.
 EVENT_TYPES = (
@@ -82,10 +96,20 @@ EVENT_TYPES = (
     CACHE_INVALIDATE,
     JOB_PREEMPT,
     JOB_RESTART,
+    SERVICE_START,
+    SERVICE_STOP,
+    JOB_REJECT,
+    JOB_CANCEL,
+    CLOCK_SET,
 )
 
 #: The job-lifecycle subset both simulators must emit identically.
 LIFECYCLE_TYPES = (JOB_SUBMIT, JOB_START, JOB_FINISH)
+
+#: The service-lifecycle subset. Only ``repro.serve`` may emit these
+#: (enforced by lint rule OBS004); ``job_cancel`` is deliberately not
+#: here — the simulators emit it from ``cancel_job``.
+SERVICE_TYPES = (SERVICE_START, SERVICE_STOP, JOB_REJECT, CLOCK_SET)
 
 #: The fault-subsystem subset (``repro.faults``). For the same fault
 #: schedule, both simulators must emit the same sequence of these
@@ -135,6 +159,11 @@ EVENT_FIELDS: Dict[str, tuple] = {
     CACHE_INVALIDATE: ("key", "delta_mb", "resident_mb", "cause"),
     JOB_PREEMPT: ("reason", "rollback_mb", "epoch"),
     JOB_RESTART: ("reason", "epoch"),
+    SERVICE_START: ("policy", "cache", "simulator", "gpus", "queue_limit"),
+    SERVICE_STOP: ("reason", "jobs_submitted", "jobs_finished"),
+    JOB_REJECT: ("reason", "queue_depth"),
+    JOB_CANCEL: ("reason", "work_done_mb"),
+    CLOCK_SET: ("action", "speedup", "virtual_s"),
 }
 
 

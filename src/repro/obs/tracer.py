@@ -354,6 +354,89 @@ class Tracer:
         """A preempted job was released back to the scheduler's queue."""
         self.emit(ts_s, ev.JOB_RESTART, job_id, reason=reason, epoch=epoch)
 
+    # ------------------------------------------------------------------
+    # Online-service helpers (``repro.serve``; lint rule OBS004 scopes
+    # the service-lifecycle emitters to that package).
+    # ------------------------------------------------------------------
+
+    def service_start(
+        self,
+        ts_s: float,
+        policy: str,
+        cache: str,
+        simulator: str,
+        gpus: float,
+        queue_limit: int,
+    ) -> None:
+        """The long-running scheduler service came up."""
+        self.emit(
+            ts_s,
+            ev.SERVICE_START,
+            policy=policy,
+            cache=cache,
+            simulator=simulator,
+            gpus=gpus,
+            queue_limit=queue_limit,
+        )
+
+    def service_stop(
+        self,
+        ts_s: float,
+        reason: str,
+        jobs_submitted: int,
+        jobs_finished: int,
+    ) -> None:
+        """The service drained and exited."""
+        self.emit(
+            ts_s,
+            ev.SERVICE_STOP,
+            reason=reason,
+            jobs_submitted=jobs_submitted,
+            jobs_finished=jobs_finished,
+        )
+
+    def job_reject(
+        self, ts_s: float, job_id: str, reason: str, queue_depth: int
+    ) -> None:
+        """A submission bounced off the admission queue (backpressure)."""
+        self.emit(
+            ts_s,
+            ev.JOB_REJECT,
+            job_id,
+            reason=reason,
+            queue_depth=queue_depth,
+        )
+        if self.enabled:
+            self.metrics.inc("serve.rejected")
+
+    def job_cancel(
+        self, ts_s: float, job_id: str, reason: str, work_done_mb: float
+    ) -> None:
+        """A job was withdrawn online before finishing."""
+        self.emit(
+            ts_s,
+            ev.JOB_CANCEL,
+            job_id,
+            reason=reason,
+            work_done_mb=work_done_mb,
+        )
+
+    def clock_set(
+        self, ts_s: float, action: str, speedup: float, virtual_s: float
+    ) -> None:
+        """The service's virtual clock was reconfigured.
+
+        ``speedup`` is virtual seconds per wall second; ``0.0`` encodes
+        "as fast as possible" (no wall pacing).
+        """
+        self.emit(
+            ts_s,
+            ev.CLOCK_SET,
+            action=action,
+            speedup=speedup,
+            virtual_s=virtual_s,
+        )
+
 
 class NullTracer(Tracer):
     """The free default: records nothing, counts nothing."""

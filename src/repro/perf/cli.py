@@ -43,7 +43,8 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         default=[],
         metavar="NAME",
         help=f"run a named scenario (repeatable; one of "
-        f"{', '.join(sorted(SCENARIOS))})",
+        f"{', '.join(sorted(SCENARIOS))}; serve_* names run the online "
+        "service bench, see docs/SERVE.md)",
     )
     parser.add_argument(
         "--backend",
@@ -103,6 +104,8 @@ def _render_record(record) -> str:
 
 
 def _list_catalogue() -> str:
+    from repro.serve.bench import SERVE_SCENARIOS
+
     lines = ["scenarios:"]
     for name in sorted(SCENARIOS):
         s = SCENARIOS[name]
@@ -110,6 +113,14 @@ def _list_catalogue() -> str:
             f"  {name:>18}: {s.simulator:>9} "
             f"{s.num_jobs:>6} jobs x {s.num_gpus:>5} GPUs "
             f"({s.policy} x {s.cache})"
+        )
+    lines.append("serve scenarios (online, over a real socket):")
+    for name in sorted(SERVE_SCENARIOS):
+        s = SERVE_SCENARIOS[name]
+        lines.append(
+            f"  {name:>18}: serve/{s.simulator} "
+            f"{s.num_jobs:>6} jobs x {s.num_gpus:>5} GPUs "
+            f"@ {s.arrival_rate_per_s:,.0f}/s ({s.policy} x {s.cache})"
         )
     lines.append("suites:")
     for suite in sorted(SUITES):
@@ -129,6 +140,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if suite is None and not args.scenario and not baselines:
         suite = "scale"
     names = list(args.scenario)
+    # Online scenarios route to the serve bench (repro.serve.bench);
+    # imported lazily so plain batch benches never touch asyncio.
+    serve_names = [n for n in names if n.startswith("serve_")]
+    names = [n for n in names if not n.startswith("serve_")]
     for baseline in baselines:
         if baseline.scenario not in SCENARIOS:
             raise SystemExit(
@@ -138,7 +153,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if baseline.scenario not in names:
             names.append(baseline.scenario)
     specs = scenarios_for(suite, names)
-    if not specs:
+    if not specs and not serve_names:
         raise SystemExit("nothing to run: no suite, scenario, or baseline")
 
     failures = 0
@@ -168,6 +183,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     print(f"    {delta.render()}")
                 if has_failures(deltas):
                     failures += 1
+
+    if serve_names:
+        from repro.serve.bench import (
+            SERVE_SCENARIOS,
+            render_serve_record,
+            run_serve_scenario,
+            write_serve_record,
+        )
+
+        for name in serve_names:
+            if name not in SERVE_SCENARIOS:
+                raise SystemExit(
+                    f"unknown serve scenario {name!r}; expected one of "
+                    f"{', '.join(sorted(SERVE_SCENARIOS))}"
+                )
+            record = run_serve_scenario(SERVE_SCENARIOS[name])
+            print(render_serve_record(record))
+            if not args.no_write:
+                path = write_serve_record(
+                    record, out_dir / f"BENCH_{record.scenario}.json"
+                )
+                print(f"  -> {path}")
     return 2 if failures else 0
 
 

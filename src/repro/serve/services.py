@@ -1,0 +1,205 @@
+"""Blox-style service decomposition of the online run path.
+
+The batch runner couples policy, estimator, and cache into a single
+``(scheduler, cache_system)`` pair. The service splits the same machinery
+into four named components — mirroring the modular scheduler decomposition
+of Blox (Agarwal et al.) — so each can be inspected, swapped, and metered
+independently while still executing the exact SiloD co-design:
+
+* :class:`AdmissionQueue` — bounded admission with reject-with-reason
+  backpressure (``queue_full``, ``duplicate_id``, ``shutting_down``);
+* :class:`EstimatorService` — the throughput model (SiloDPerf) behind
+  every placement decision;
+* :class:`PlacementService` — the policy + joint-allocation step
+  (Algorithm 1), owning the :class:`~repro.core.silod.SiloDScheduler`;
+* :class:`CacheAllocService` — the cache subsystem, exposing the
+  incremental :meth:`~repro.cache.base.CacheSystem.reallocate` entry
+  point that re-runs the SiloD cache/IO split on every admission epoch.
+
+:meth:`ServiceStack.build` constructs all four from registry names with
+the paper's coupling rule (``silod`` cache ⇒ storage-aware policy), so
+``serve --policy X --cache Y`` accepts exactly what the batch CLI does.
+The stack's scheduler/cache objects are *the* objects the simulator
+runs — the services are structure, not copies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.base import CacheSystem
+from repro.core.estimator import SiloDPerfEstimator
+from repro.core.silod import SiloDScheduler
+from repro.serve.protocol import (
+    REJECT_DUPLICATE,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTTING_DOWN,
+)
+from repro.sim.runner import make_system
+
+
+class AdmissionQueue:
+    """Bounded admission control with machine-readable rejections.
+
+    Tracks jobs from accepted submission until first placement
+    (``job_start``). ``try_admit`` either accepts (returns ``None``) or
+    answers with one of the protocol reject reasons; the caller emits the
+    corresponding ``job_reject`` event so backpressure is observable.
+    """
+
+    def __init__(self, limit: int = 64) -> None:
+        if limit < 1:
+            raise ValueError("admission queue limit must be >= 1")
+        self.limit = int(limit)
+        #: job_id -> wall-clock submit instant (perf-counter seconds),
+        #: used by the engine for admission-to-placement latency.
+        self._waiting: Dict[str, float] = {}
+        self._seen: set = set()
+        self._draining = False
+        self.accepted_total = 0
+        self.rejected_total = 0
+
+    @property
+    def depth(self) -> int:
+        """Jobs admitted but not yet placed."""
+        return len(self._waiting)
+
+    @property
+    def draining(self) -> bool:
+        """Whether admission has been closed for shutdown."""
+        return self._draining
+
+    def start_drain(self) -> None:
+        """Stop accepting new work; queued jobs keep flowing."""
+        self._draining = True
+
+    def try_admit(self, job_id: str, wall_s: float) -> Optional[str]:
+        """Admit ``job_id`` or return the protocol reject reason."""
+        if self._draining:
+            self.rejected_total += 1
+            return REJECT_SHUTTING_DOWN
+        if job_id in self._seen:
+            self.rejected_total += 1
+            return REJECT_DUPLICATE
+        if len(self._waiting) >= self.limit:
+            self.rejected_total += 1
+            return REJECT_QUEUE_FULL
+        self._seen.add(job_id)
+        self._waiting[job_id] = wall_s
+        self.accepted_total += 1
+        return None
+
+    def mark_placed(self, job_id: str) -> Optional[float]:
+        """Record first placement; returns the submit wall instant."""
+        return self._waiting.pop(job_id, None)
+
+    def discard(self, job_id: str) -> None:
+        """Drop a waiting job (cancellation before placement)."""
+        self._waiting.pop(job_id, None)
+
+
+class EstimatorService:
+    """The throughput model every placement decision consults."""
+
+    def __init__(self, estimator: SiloDPerfEstimator) -> None:
+        self.estimator = estimator
+
+    @property
+    def name(self) -> str:
+        """Class name of the live estimator."""
+        return type(self.estimator).__name__
+
+
+class PlacementService:
+    """Policy + joint allocation (Algorithm 1), owning the scheduler."""
+
+    def __init__(self, scheduler: SiloDScheduler) -> None:
+        self.scheduler = scheduler
+
+    @property
+    def policy_name(self) -> str:
+        """Registry name of the live scheduling policy."""
+        return self.scheduler.policy.name
+
+    @property
+    def storage_aware(self) -> bool:
+        """Whether the policy runs Algorithm 1's joint allocation."""
+        return self.scheduler.storage_aware
+
+
+class CacheAllocService:
+    """The cache subsystem behind incremental re-allocation.
+
+    The simulator calls :meth:`CacheSystem.reallocate` on every admission
+    epoch (arrival, completion, reschedule tick, fault); this service
+    names that dependency so ``serve`` can report which cache system is
+    live and swap it via the registry.
+    """
+
+    def __init__(self, cache_system: CacheSystem) -> None:
+        self.cache_system = cache_system
+
+    @property
+    def name(self) -> str:
+        """Class name of the live cache system."""
+        return type(self.cache_system).__name__
+
+
+class ServiceStack:
+    """The four services plus the identity of the configuration."""
+
+    def __init__(
+        self,
+        policy: str,
+        cache: str,
+        admission: AdmissionQueue,
+        estimator: EstimatorService,
+        placement: PlacementService,
+        cache_alloc: CacheAllocService,
+    ) -> None:
+        self.policy = policy
+        self.cache = cache
+        self.admission = admission
+        self.estimator = estimator
+        self.placement = placement
+        self.cache_alloc = cache_alloc
+
+    @classmethod
+    def build(
+        cls,
+        policy: str,
+        cache: str,
+        queue_limit: int = 64,
+        cache_kwargs: Optional[dict] = None,
+    ) -> "ServiceStack":
+        """Build the stack from registry names with the coupling rule."""
+        scheduler, cache_system = make_system(policy, cache, cache_kwargs)
+        return cls(
+            policy=policy,
+            cache=cache,
+            admission=AdmissionQueue(limit=queue_limit),
+            estimator=EstimatorService(scheduler.estimator),
+            placement=PlacementService(scheduler),
+            cache_alloc=CacheAllocService(cache_system),
+        )
+
+    def describe(self) -> dict:
+        """Service-by-service identity for ``status`` responses."""
+        return {
+            "admission": {
+                "limit": self.admission.limit,
+                "depth": self.admission.depth,
+                "accepted_total": self.admission.accepted_total,
+                "rejected_total": self.admission.rejected_total,
+                "draining": self.admission.draining,
+            },
+            "estimator": {"kind": self.estimator.name},
+            "placement": {
+                "policy": self.placement.policy_name,
+                "storage_aware": self.placement.storage_aware,
+            },
+            "cache_alloc": {
+                "cache": self.cache,
+                "kind": self.cache_alloc.name,
+            },
+        }

@@ -180,6 +180,10 @@ class FluidSimulator:
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("job ids must be unique")
+        #: Every id ever seen (trace + online submissions) — duplicate
+        #: submissions are rejected for the life of the simulator, even
+        #: after the original job finished.
+        self._known_ids = set(ids)
         self.cluster = cluster
         self.scheduler = scheduler
         self.cache_system = cache_system
@@ -262,6 +266,11 @@ class FluidSimulator:
         self._allocation = Allocation()
         self._decision = StorageDecision({}, {}, {})
         self._timeline: List[TimelineSample] = []
+        #: Tick state armed by :meth:`begin` (instance attributes so the
+        #: loop can be driven one event at a time by ``repro.serve``).
+        self._next_sample = 0.0
+        self._next_reschedule = 0.0
+        self._begun = False
 
     # ------------------------------------------------------------------
     # Public API.
@@ -269,59 +278,179 @@ class FluidSimulator:
 
     def run(self) -> RunResult:
         """Run to completion (or ``max_time_s``) and return the result."""
-        self.cache_system.reset()
-        next_sample = 0.0
-        next_reschedule = 0.0
+        self.begin()
         max_events = 20_000_000
         for _ in range(max_events):
-            if self._done():
+            if not self.step():
                 break
-            self.loop_events += 1
-            candidates = [self._next_arrival_time()]
-            if self._active:
-                candidates.append(next_reschedule)
-                candidates.append(next_sample)
-                candidates.append(self._next_completion_time())
-                candidates.append(self._next_epoch_boundary_time())
-            if self._crash_times:
-                candidates.append(max(self.clock_s, self._crash_times[0]))
-            if self._loss_times:
-                candidates.append(max(self.clock_s, self._loss_times[0]))
-            if self._injector is not None:
-                t_fault = self._injector.next_time()
-                if t_fault is not None:
-                    candidates.append(max(self.clock_s, t_fault))
-            if self._max_time_s is not None:
-                candidates.append(self._max_time_s)
-            t_next = min(t for t in candidates if t is not None)
-            if math.isinf(t_next):
-                break  # nothing can ever happen again
-            self._advance_to(t_next)
-
-            if self._max_time_s is not None and self.clock_s >= self._max_time_s:
-                break
-
-            changed = False
-            changed |= self._admit_arrivals()
-            changed |= self._retire_completions()
-            changed |= self._inject_faults()
-            changed |= self._apply_fault_schedule()
-            epoch_flip = self._promote_epoch_boundaries()
-
-            if changed or self.clock_s >= next_reschedule:
-                self._reschedule()
-                next_reschedule = self.clock_s + self._reschedule_interval_s
-            elif epoch_flip:
-                self._storage_decide()
-
-            if self.clock_s >= next_sample:
-                self._sample()
-                next_sample = self.clock_s + self._sample_interval_s
         else:
             raise RuntimeError("fluid simulation exceeded the event budget")
+        return self.finish()
+
+    def begin(self) -> None:
+        """Arm the event loop (idempotent; ``run`` calls it for you).
+
+        The stepped protocol — ``begin()``, then ``step()`` until it
+        returns ``False``, then ``finish()`` — is what ``run`` executes
+        internally; ``repro.serve`` drives the same three methods one
+        event at a time against a virtual clock, so online and batch
+        execution share a single code path.
+        """
+        if self._begun:
+            return
+        self._begun = True
+        self.cache_system.reset()
+        self._next_sample = 0.0
+        self._next_reschedule = 0.0
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest time the next event can happen (``None`` = never).
+
+        Purely a peek: no state changes. ``repro.serve`` uses it to gate
+        :meth:`step` against the virtual clock; the returned time is
+        always an exact event time, so a gated driver advances the
+        simulation in the same event-sized hops as :meth:`run` (float
+        non-associativity makes arbitrary intermediate hops diverge).
+        """
+        if self._done():
+            return None
+        t_next = self._peek_next_time()
+        return None if math.isinf(t_next) else t_next
+
+    def _peek_next_time(self) -> float:
+        """The batch loop's candidate sweep (``inf`` = nothing pending)."""
+        candidates = [self._next_arrival_time()]
+        if self._active:
+            candidates.append(self._next_reschedule)
+            candidates.append(self._next_sample)
+            candidates.append(self._next_completion_time())
+            candidates.append(self._next_epoch_boundary_time())
+        if self._crash_times:
+            candidates.append(max(self.clock_s, self._crash_times[0]))
+        if self._loss_times:
+            candidates.append(max(self.clock_s, self._loss_times[0]))
+        if self._injector is not None:
+            t_fault = self._injector.next_time()
+            if t_fault is not None:
+                candidates.append(max(self.clock_s, t_fault))
+        if self._max_time_s is not None:
+            candidates.append(self._max_time_s)
+        return min(t for t in candidates if t is not None)
+
+    def step(self, limit_s: Optional[float] = None) -> bool:
+        """Process the next event; ``False`` when nothing (more) happened.
+
+        With ``limit_s``, an event strictly beyond that virtual time is
+        left unprocessed (and uncounted) — the online driver's gate. The
+        ungated call sequence is exactly the body of the historical
+        monolithic loop, including the ``loop_events`` accounting.
+        """
+        if self._done():
+            return False
+        t_next = self._peek_next_time()
+        if limit_s is not None and t_next > limit_s + 1e-9:
+            return False
+        self.loop_events += 1
+        if math.isinf(t_next):
+            return False  # nothing can ever happen again
+        self._advance_to(t_next)
+
+        if self._max_time_s is not None and self.clock_s >= self._max_time_s:
+            return False
+
+        changed = False
+        changed |= self._admit_arrivals()
+        changed |= self._retire_completions()
+        changed |= self._inject_faults()
+        changed |= self._apply_fault_schedule()
+        epoch_flip = self._promote_epoch_boundaries()
+
+        if changed or self.clock_s >= self._next_reschedule:
+            self._reschedule()
+            self._next_reschedule = self.clock_s + self._reschedule_interval_s
+        elif epoch_flip:
+            self._storage_decide()
+
+        if self.clock_s >= self._next_sample:
+            self._sample()
+            self._next_sample = self.clock_s + self._sample_interval_s
+        return True
+
+    def finish(self) -> RunResult:
+        """Final sample + counters; returns the run's result."""
         self._sample()
         self._publish_counters()
         return self._result()
+
+    # ------------------------------------------------------------------
+    # Online mutation (``repro.serve``).
+    # ------------------------------------------------------------------
+
+    def submit_job(self, job: Job) -> None:
+        """Inject a job into the pending trace (online admission).
+
+        The job is inserted in ``(submit_time_s, job_id)`` order among
+        the not-yet-admitted tail, so the admission sequence — and with
+        it every order-sensitive downstream structure — is identical to
+        a batch run whose trace contained the job from the start.
+        """
+        if job.job_id in self._known_ids:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        self._known_ids.add(job.job_id)
+        key = (job.submit_time_s, job.job_id)
+        lo, hi = self._arrival_idx, len(self._trace)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = self._trace[mid]
+            if (probe.submit_time_s, probe.job_id) <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._trace.insert(lo, job)
+
+    def cancel_job(self, job_id: str, reason: str = "user") -> bool:
+        """Withdraw a job (online cancellation); ``True`` if it existed.
+
+        A still-pending job is removed from the trace; an active one
+        retires immediately as :attr:`JobPhase.CANCELLED` (no finish
+        time) with its cache sharing dissolved, and the scheduler re-runs
+        right away — membership changes always trigger a reschedule.
+        """
+        for idx in range(self._arrival_idx, len(self._trace)):
+            if self._trace[idx].job_id == job_id:
+                del self._trace[idx]
+                if self._tracer.enabled:
+                    self._tracer.job_cancel(
+                        self.clock_s, job_id, reason=reason,
+                        work_done_mb=0.0,
+                    )
+                return True
+        progress = self._active.get(job_id)
+        if progress is None:
+            return False
+        row = self._table.row_of(job_id)
+        if row is not None:
+            progress.work_done_mb = self._table.work_done_mb(row)
+            self._table.retire(row)
+        progress.phase = JobPhase.CANCELLED
+        self._finished.append(progress)
+        del self._active[job_id]
+        self._blocked.discard(job_id)
+        if self._tracer.enabled:
+            self._tracer.job_cancel(
+                self.clock_s, job_id, reason=reason,
+                work_done_mb=progress.work_done_mb,
+            )
+        self._effective.pop(job_id, None)
+        sharers = self._key_jobs.get(self._job_key.get(job_id))
+        if sharers is not None and job_id in sharers:
+            sharers.remove(job_id)
+        if self.cache_system.per_job_keys:
+            self._cache.pop(job_id)
+        self._invalidate_epoch_view()
+        self._reschedule()
+        self._next_reschedule = self.clock_s + self._reschedule_interval_s
+        return True
 
     def _publish_counters(self) -> None:
         """Push the run's loop/round totals into the obs registry.
@@ -911,7 +1040,7 @@ class FluidSimulator:
             tracer=self._tracer,
             batch=view.hints,
         )
-        self._decision = self.cache_system.decide(ctx)
+        self._decision = self.cache_system.reallocate(ctx)
         self._apply_targets()
         self._recompute_rates(view.running)
 

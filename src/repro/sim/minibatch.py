@@ -156,6 +156,8 @@ class MinibatchEmulator:
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("job ids must be unique")
+        #: Every id ever seen (trace + online submissions).
+        self._known_ids = set(ids)
         self.cluster = cluster
         self.scheduler = scheduler
         self.cache_system = cache_system
@@ -208,38 +210,138 @@ class MinibatchEmulator:
         )
         self._timeline: List[TimelineSample] = []
         self._last_sample_s = 0.0
+        #: Tick state armed by :meth:`begin` (instance attribute so the
+        #: loop can be driven one interval at a time by ``repro.serve``).
+        self._next_sample = 0.0
+        self._begun = False
 
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
         """Run to completion (or ``max_time_s``) and return the result."""
+        self.begin()
+        while self.step():
+            pass
+        return self.finish()
+
+    def begin(self) -> None:
+        """Arm the decision loop (idempotent; ``run`` calls it for you).
+
+        Same stepped protocol as the fluid simulator — ``begin()``,
+        ``step()`` until ``False``, ``finish()`` — except one step is one
+        decision interval (the emulator's native granularity), not one
+        event.
+        """
+        if self._begun:
+            return
+        self._begun = True
         self.cache_system.reset()
-        next_sample = 0.0
-        while not self._done():
-            if (
-                self._max_time_s is not None
-                and self.clock_s >= self._max_time_s
-            ):
-                break
-            if not self._active and self._arrival_idx < len(self._trace):
-                self.clock_s = max(
-                    self.clock_s,
-                    self._trace[self._arrival_idx].submit_time_s,
-                )
-            self._admit_arrivals()
-            self._retire_completions()
-            self._apply_fault_schedule()
-            self._reschedule()
-            t_end = self.clock_s + self._interval_s
-            self._run_interval(t_end)
-            if self.clock_s >= next_sample:
-                self._sample()
-                next_sample = self.clock_s + self._sample_interval_s
-            self.clock_s = t_end
+        self._next_sample = 0.0
+
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time the next decision interval starts (``None`` = never)."""
+        if self._done():
+            return None
+        if self._max_time_s is not None and self.clock_s >= self._max_time_s:
+            return None
+        if not self._active and self._arrival_idx < len(self._trace):
+            return max(
+                self.clock_s, self._trace[self._arrival_idx].submit_time_s
+            )
+        return self.clock_s
+
+    def step(self, limit_s: Optional[float] = None) -> bool:
+        """Run one decision interval; ``False`` when nothing (more) happened.
+
+        With ``limit_s``, an interval starting strictly beyond that
+        virtual time is left unprocessed — the online driver's gate.
+        """
+        t_start = self.next_event_time()
+        if t_start is None:
+            return False
+        if limit_s is not None and t_start > limit_s + 1e-9:
+            return False
+        if not self._active and self._arrival_idx < len(self._trace):
+            self.clock_s = max(
+                self.clock_s,
+                self._trace[self._arrival_idx].submit_time_s,
+            )
+        self._admit_arrivals()
+        self._retire_completions()
+        self._apply_fault_schedule()
+        self._reschedule()
+        t_end = self.clock_s + self._interval_s
+        self._run_interval(t_end)
+        if self.clock_s >= self._next_sample:
+            self._sample()
+            self._next_sample = self.clock_s + self._sample_interval_s
+        self.clock_s = t_end
+        return True
+
+    def finish(self) -> RunResult:
+        """Final retire + sample + counters; returns the run's result."""
         self._retire_completions()
         self._sample()
         self._publish_counters()
         return self._result()
+
+    # ------------------------------------------------------------------
+    # Online mutation (``repro.serve``).
+    # ------------------------------------------------------------------
+
+    def submit_job(self, job: Job) -> None:
+        """Inject a job into the pending trace (online admission).
+
+        Sorted insertion among the not-yet-admitted tail keeps the
+        admission sequence — and the per-job shuffle seeds, which hang
+        off the admission index — identical to a batch run whose trace
+        contained the job from the start.
+        """
+        if job.job_id in self._known_ids:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        self._known_ids.add(job.job_id)
+        key = (job.submit_time_s, job.job_id)
+        lo, hi = self._arrival_idx, len(self._trace)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = self._trace[mid]
+            if (probe.submit_time_s, probe.job_id) <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._trace.insert(lo, job)
+
+    def cancel_job(self, job_id: str, reason: str = "user") -> bool:
+        """Withdraw a job (online cancellation); ``True`` if it existed.
+
+        A still-pending job is removed from the trace; an active one
+        retires immediately with no finish time. The re-allocation lands
+        at the next decision-interval boundary — batch granularity,
+        matching how the emulator applies faults.
+        """
+        for idx in range(self._arrival_idx, len(self._trace)):
+            if self._trace[idx].job_id == job_id:
+                del self._trace[idx]
+                if self._tracer.enabled:
+                    self._tracer.job_cancel(
+                        self.clock_s, job_id, reason=reason,
+                        work_done_mb=0.0,
+                    )
+                return True
+        rt = self._active.get(job_id)
+        if rt is None:
+            return False
+        self._finished.append(rt)
+        del self._active[job_id]
+        self._blocked.discard(job_id)
+        if self.cache_system.per_job_keys:
+            self._uniform_caches.pop(job_id, None)
+        if self._tracer.enabled:
+            self._tracer.job_cancel(
+                self.clock_s, job_id, reason=reason,
+                work_done_mb=rt.items_done * self._item_size_mb,
+            )
+        return True
 
     def _publish_counters(self) -> None:
         """Push the run's step/round totals into the obs registry.
@@ -522,7 +624,7 @@ class MinibatchEmulator:
             queued_jobs=queued,
             tracer=self._tracer,
         )
-        self._decision = self.cache_system.decide(ctx)
+        self._decision = self.cache_system.reallocate(ctx)
         if not isinstance(self.cache_system, SiloDDataManager):
             self._work_conserving_io_grants(running)
         if not self._is_lru:

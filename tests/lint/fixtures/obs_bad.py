@@ -12,3 +12,11 @@ def emit_drifted(tracer, ts_s: float) -> None:
         ts_s, ev.JOB_FINISH, "j1", jct_s=1.0, epochs_done=2, mood="good"
     )  # OBS002: extra
     tracer.epoch_boundary(ts_s, "j1", epoch=3, flavour="odd")  # OBS002
+    # Service-lifecycle events outside repro/serve/: scope violations.
+    tracer.service_start(  # OBS004
+        ts_s, policy="fifo", cache="silod", simulator="fluid",
+        gpus=16.0, queue_limit=64,
+    )
+    tracer.emit(  # OBS004
+        ts_s, ev.CLOCK_SET, action="pause", speedup=0.0, virtual_s=ts_s
+    )

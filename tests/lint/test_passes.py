@@ -39,7 +39,7 @@ CASES = [
     (
         ObsSchemaPass,
         "obs_bad.py",
-        {"OBS001", "OBS002"},
+        {"OBS001", "OBS002", "OBS004"},
         "obs_good.py",
     ),
     (
@@ -119,6 +119,26 @@ def test_obs_pass_reports_field_drift_detail():
     assert "missing fields ['epochs_done']" in messages
     assert "extra fields ['mood']" in messages
     assert "['flavour']" in messages  # helper-call drift
+
+
+def test_obs004_counts_both_service_emission_forms():
+    """OBS004 fires for the typed helper and the raw-emit spelling."""
+    findings = run_single(ObsSchemaPass, "obs_bad.py")
+    obs004 = [f for f in findings if f.rule == "OBS004"]
+    assert len(obs004) == 2
+    assert {"'service_start'" in f.message for f in obs004} == {True, False}
+
+
+def test_obs004_exempts_serve_package_and_tracer_helpers():
+    """The service and the helper definitions are the legal emit sites."""
+    import repro.obs.tracer as tracer_module
+    import repro.serve.engine as engine_module
+
+    findings = lint_paths(
+        [Path(engine_module.__file__), Path(tracer_module.__file__)],
+        [ObsSchemaPass()],
+    )
+    assert [f for f in findings if f.rule == "OBS004"] == []
 
 
 def test_perf_pass_only_covers_vectorized_modules(tmp_path):

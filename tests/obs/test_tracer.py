@@ -50,6 +50,14 @@ def _emit_one_of_each(tracer):
     tracer.node_up(4.8, kind="server", gpus_restored=8.0, cache_restored_mb=64.0)
     tracer.job_restart(4.8, "j1", reason="job_restart", epoch=1)
     tracer.job_finish(5.0, "j1", jct_s=5.0, epochs_done=1)
+    tracer.service_start(
+        0.0, policy="fifo", cache="silod", simulator="fluid",
+        gpus=16.0, queue_limit=64,
+    )
+    tracer.clock_set(0.0, action="resume", speedup=0.0, virtual_s=0.0)
+    tracer.job_reject(5.5, "j2", reason="queue_full", queue_depth=64)
+    tracer.job_cancel(5.5, "j1", reason="user", work_done_mb=120.0)
+    tracer.service_stop(6.0, reason="drained", jobs_submitted=2, jobs_finished=1)
 
 
 def test_typed_helpers_cover_every_event_type():

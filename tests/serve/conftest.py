@@ -1,0 +1,63 @@
+"""Shared fixtures for the online-service suite.
+
+Everything runs against tiny deterministic clusters so the full
+socket round-trips stay well under a second. Engines default to a
+deep-paused clock (``start_paused=True``) so tests can stage
+submissions without the pump racing them.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.cluster.hardware import Cluster
+from repro.obs import StreamingTracer
+from repro.serve import OnlineEngine, ServiceStack, VirtualClock
+
+
+def small_cluster(servers: int = 2, gpus_per_server: int = 4) -> Cluster:
+    return Cluster.build(
+        num_servers=servers,
+        gpus_per_server=gpus_per_server,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=units.gbps(1.6),
+    )
+
+
+def job_payload(
+    job_id: str,
+    dataset: str = "ds-shared",
+    size_mb: float = 512.0,
+    submit_time_s: float = 0.0,
+    num_gpus: int = 1,
+) -> dict:
+    """A minimal v1 trace-format job dict (one epoch over the dataset)."""
+    return {
+        "v": 1,
+        "job_id": job_id,
+        "model": "resnet50",
+        "dataset": {"name": dataset, "size_mb": size_mb, "num_items": 1000},
+        "num_gpus": num_gpus,
+        "ideal_throughput_mbps": 100.0,
+        "total_work_mb": size_mb,
+        "submit_time_s": submit_time_s,
+        "regular": True,
+    }
+
+
+def make_engine(
+    policy: str = "fifo",
+    cache: str = "silod",
+    queue_limit: int = 64,
+    simulator: str = "fluid",
+    paused: bool = True,
+    **sim_kwargs,
+) -> OnlineEngine:
+    stack = ServiceStack.build(policy, cache, queue_limit=queue_limit)
+    return OnlineEngine(
+        small_cluster(),
+        stack,
+        clock=VirtualClock(start_paused=paused),
+        simulator=simulator,
+        tracer=StreamingTracer(),
+        **sim_kwargs,
+    )

@@ -1,0 +1,86 @@
+"""Serve bench scenarios and the `BENCH_serve_*.json` artifact schema."""
+
+import dataclasses
+
+import pytest
+
+from repro.serve.bench import (
+    SERVE_BENCH_FIELDS,
+    SERVE_BENCH_SCHEMA_VERSION,
+    SERVE_SCENARIOS,
+    ServeBenchScenario,
+    load_serve_record,
+    render_serve_record,
+    run_serve_scenario,
+    write_serve_record,
+)
+
+pytestmark = pytest.mark.serve
+
+#: A sub-second scenario for CI: unpaced submissions, tiny backlog.
+CI_SPEC = ServeBenchScenario(
+    name="serve_ci",
+    simulator="fluid",
+    num_jobs=24,
+    num_gpus=16,
+    arrival_rate_per_s=2000.0,
+    queue_limit=64,
+)
+
+
+def test_serve_scenario_meets_the_decision_throughput_floor(tmp_path):
+    record = run_serve_scenario(CI_SPEC)
+    # The acceptance floor: >= 200 scheduling decisions per second on a
+    # tiny scenario (measured ~2000/s; 200 leaves 10x headroom for CI).
+    assert record.decisions_per_sec >= 200.0
+    assert record.jobs_submitted == CI_SPEC.num_jobs
+    assert record.jobs_finished == CI_SPEC.num_jobs
+    assert record.admit_to_place_p99_ms >= record.admit_to_place_p50_ms >= 0
+
+    path = write_serve_record(record, tmp_path / "BENCH_serve_ci.json")
+    loaded = load_serve_record(path)
+    assert loaded == record
+    rendered = render_serve_record(record)
+    assert "serve_ci" in rendered
+    assert "decisions/s" in rendered
+
+
+def test_catalogue_scenarios_are_well_formed():
+    assert set(SERVE_SCENARIOS) == {"serve_tiny", "serve_smoke"}
+    for name, spec in SERVE_SCENARIOS.items():
+        assert spec.name == name
+        trace = spec.build_trace()
+        assert len(trace) == spec.num_jobs
+        assert spec.build_cluster().total_gpus == spec.num_gpus
+
+
+def test_record_schema_matches_the_documented_field_tuple():
+    from repro.serve.bench import ServeBenchRecord
+
+    fields = tuple(f.name for f in dataclasses.fields(ServeBenchRecord))
+    assert fields == SERVE_BENCH_FIELDS
+
+
+def test_loader_rejects_schema_and_field_drift(tmp_path):
+    record = run_serve_scenario(
+        dataclasses.replace(CI_SPEC, num_jobs=4, arrival_rate_per_s=4000.0)
+    )
+    path = write_serve_record(record, tmp_path / "BENCH_x.json")
+
+    import json
+
+    data = json.loads(path.read_text())
+    assert data["schema_version"] == SERVE_BENCH_SCHEMA_VERSION
+
+    data["schema_version"] = 99
+    bad = tmp_path / "bad_version.json"
+    bad.write_text(json.dumps(data))
+    with pytest.raises(ValueError):
+        load_serve_record(bad)
+
+    data["schema_version"] = SERVE_BENCH_SCHEMA_VERSION
+    data["mystery_field"] = 1
+    bad_field = tmp_path / "bad_field.json"
+    bad_field.write_text(json.dumps(data))
+    with pytest.raises(ValueError):
+        load_serve_record(bad_field)

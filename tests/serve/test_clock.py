@@ -1,0 +1,68 @@
+"""Virtual-clock semantics (`repro.serve.clock.VirtualClock`)."""
+
+import math
+
+import pytest
+
+from repro.serve import VirtualClock
+
+pytestmark = pytest.mark.serve
+
+
+def test_deep_paused_clock_holds_before_time_zero():
+    """``start_paused`` freezes *before* t=0 so t=0 arrivals stage."""
+    clock = VirtualClock(start_paused=True)
+    assert clock.paused
+    assert clock.target_s() == -math.inf
+    assert clock.seconds_until(0.0) is None  # unreachable while paused
+
+
+def test_unlimited_clock_reaches_everything_immediately():
+    clock = VirtualClock()  # speedup None = as fast as possible
+    assert not clock.paused
+    assert clock.target_s() == math.inf
+    assert clock.seconds_until(1e12) == 0.0
+
+
+def test_paced_clock_advances_virtual_time_with_wall_time():
+    clock = VirtualClock(speedup=60.0)
+    target = clock.target_s()
+    assert target >= 0.0
+    wait = clock.seconds_until(target + 600.0)
+    # 600 virtual seconds at 60x is at most 10 wall seconds away.
+    assert wait is not None
+    assert 0.0 <= wait <= 10.0
+
+
+def test_pause_freezes_the_watermark():
+    clock = VirtualClock(speedup=60.0)
+    clock.pause()
+    held = clock.target_s()
+    assert clock.paused
+    assert clock.target_s() == held  # no drift while paused
+
+
+def test_step_to_advances_but_never_rewinds():
+    clock = VirtualClock(start_paused=True)
+    clock.step_to(100.0)
+    assert clock.paused
+    assert clock.target_s() == 100.0
+    clock.step_to(50.0)  # backwards: clamped
+    assert clock.target_s() == 100.0
+    clock.step_to(250.0)
+    assert clock.target_s() == 250.0
+
+
+def test_resume_from_deep_freeze_starts_at_time_zero():
+    clock = VirtualClock(start_paused=True)
+    clock.resume(speedup=60.0)
+    assert not clock.paused
+    assert clock.speedup == 60.0
+    assert clock.target_s() >= 0.0
+
+
+def test_resume_with_zero_speedup_means_unlimited():
+    clock = VirtualClock(start_paused=True)
+    clock.resume(speedup=0)
+    assert clock.speedup is None
+    assert clock.target_s() == math.inf

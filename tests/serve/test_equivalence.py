@@ -1,0 +1,126 @@
+"""Online/batch determinism: same seed + same submissions ⇒ same run.
+
+The service's central guarantee (docs/SERVE.md): because the engine only
+advances the simulator in exact event-sized hops, an online run fed the
+same jobs produces event anchors bit-identical to the batch run —
+``localize_divergence`` finds nothing, even though the online log also
+carries service-lifecycle events (those are not anchors).
+"""
+
+import pytest
+
+from repro import units
+from repro.analysis.fidelity import localize_divergence
+from repro.faults.spec import FaultSchedule
+from repro.obs import Tracer
+from repro.sim.runner import run_experiment
+from repro.workloads.trace import TraceConfig, generate_trace
+from repro.workloads.trace_io import job_to_dict
+
+from .conftest import make_engine, small_cluster
+
+pytestmark = pytest.mark.serve
+
+TRACE = TraceConfig(
+    num_jobs=8,
+    seed=7,
+    mean_interarrival_s=200.0,
+    duration_median_s=600.0,
+)
+
+FAULTS = FaultSchedule.from_dicts(
+    [
+        {"time_s": 300.0, "kind": "server_crash", "magnitude": 1},
+        {"time_s": 900.0, "kind": "server_recover", "magnitude": 1},
+        {"time_s": 1500.0, "kind": "cache_loss", "magnitude": 4096.0},
+    ]
+)
+
+
+def _batch_events(simulator, faults=None):
+    tracer = Tracer()
+    sim_kwargs = {"tracer": tracer}
+    if faults is not None:
+        sim_kwargs["faults"] = faults
+    run_experiment(
+        small_cluster(),
+        "fifo",
+        "silod",
+        generate_trace(TRACE),
+        simulator=simulator,
+        **sim_kwargs,
+    )
+    return tracer.events
+
+
+def _online_events(simulator, faults=None):
+    sim_kwargs = {}
+    if faults is not None:
+        sim_kwargs["faults"] = faults
+    engine = make_engine(simulator=simulator, **sim_kwargs)
+    engine.start()
+    # Submit in reverse arrival order: the engine's sorted insert must
+    # restore the batch admission order regardless of wire order.
+    for job in sorted(
+        generate_trace(TRACE),
+        key=lambda j: (j.submit_time_s, j.job_id),
+        reverse=True,
+    ):
+        engine.submit(job_to_dict(job))
+    engine.drain()
+    return engine.tracer.events
+
+
+@pytest.mark.parametrize("simulator", ["fluid", "minibatch"])
+def test_online_run_is_anchor_identical_to_batch(simulator):
+    batch = _batch_events(simulator)
+    online = _online_events(simulator)
+    assert localize_divergence(batch, online) is None
+    assert localize_divergence(online, batch) is None
+    # The online log differs only by its service-lifecycle narration.
+    batch_types = {e.etype for e in batch}
+    online_types = {e.etype for e in online}
+    assert online_types - batch_types <= {
+        "service_start",
+        "service_stop",
+        "clock_set",
+    }
+
+
+def test_online_run_with_faults_matches_batch_with_faults():
+    """Satellite: --faults shares the cache re-allocation path exactly."""
+    batch = _batch_events("fluid", faults=FAULTS)
+    online = _online_events("fluid", faults=FAULTS)
+    assert any(e.etype == "fault_inject" for e in online)
+    assert localize_divergence(batch, online) is None
+
+
+def test_online_loop_event_count_matches_batch():
+    """The stepped loop counts iterations exactly like ``run()``."""
+    from repro.sim.fluid import FluidSimulator
+    from repro.sim.runner import make_system
+
+    jobs = generate_trace(TRACE)
+    scheduler, cache = make_system("fifo", "silod")
+    batch_sim = FluidSimulator(small_cluster(), scheduler, cache, jobs)
+    batch_sim.run()
+
+    engine = make_engine()
+    engine.start()
+    for job in jobs:
+        engine.submit(job_to_dict(job))
+    engine.drain()
+    assert engine.sim.loop_events == batch_sim.loop_events
+    assert engine.sim.sched_rounds == batch_sim.sched_rounds
+
+
+def test_same_submissions_twice_produce_identical_event_logs():
+    """Two online runs with the same inputs are bit-identical."""
+
+    def run_once():
+        return [
+            (e.seq, round(e.ts_s, 9), e.etype, e.job_id)
+            for e in _online_events("fluid")
+        ]
+
+    assert run_once() == run_once()

@@ -19,6 +19,12 @@ So does the benchmark artifact schema: the ``### `bench_record` ``
 field table in ``docs/PERFORMANCE.md`` must list exactly
 ``repro.perf.record.BENCH_FIELDS``.
 
+And the online service: ``docs/SERVE.md`` must have a ``### `op` ``
+section per protocol operation (``repro.serve.protocol.OPS``), mention
+every service-lifecycle event type and reject reason, and carry a
+``### `serve_bench_record` `` field table matching
+``repro.serve.bench.SERVE_BENCH_FIELDS``.
+
 Run directly (``python tools/check_obs_docs.py``) or via the tier-1
 test ``tests/obs/test_docs_consistency.py``.
 """
@@ -33,9 +39,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 FAULTS_DOC_PATH = REPO_ROOT / "docs" / "FAULTS.md"
 PERF_DOC_PATH = REPO_ROOT / "docs" / "PERFORMANCE.md"
+SERVE_DOC_PATH = REPO_ROOT / "docs" / "SERVE.md"
 
 _HEADING = re.compile(r"^### `(?P<name>[a-z_]+)`\s*$")
-_TABLE_ROW = re.compile(r"^\| `(?P<field>[a-z_]+)` \|")
+_TABLE_ROW = re.compile(r"^\| `(?P<field>[a-z0-9_]+)` \|")
 
 
 def parse_doc_schema(text: str) -> dict:
@@ -139,12 +146,67 @@ def check_perf_doc(text: str, bench_fields: list) -> list:
     return problems
 
 
+def check_serve_doc(
+    text: str,
+    ops: list,
+    service_types: list,
+    reject_reasons: list,
+    serve_bench_fields: list,
+) -> list:
+    """Drift messages for docs/SERVE.md vs the service subsystem."""
+    problems = []
+    headings = {
+        m.group("name")
+        for m in (_HEADING.match(line) for line in text.splitlines())
+        if m
+    }
+    for op in ops:
+        if op not in headings:
+            problems.append(
+                f"protocol op {op!r} is implemented but has no "
+                f"'### `{op}`' section in docs/SERVE.md"
+            )
+    for etype in service_types:
+        if f"`{etype}`" not in text:
+            problems.append(
+                f"service event type {etype!r} is never mentioned in "
+                f"docs/SERVE.md"
+            )
+    for reason in reject_reasons:
+        if f"`{reason}`" not in text:
+            problems.append(
+                f"reject reason {reason!r} is never mentioned in "
+                f"docs/SERVE.md"
+            )
+    documented = parse_doc_schema(text).get("serve_bench_record")
+    if documented is None:
+        problems.append(
+            "docs/SERVE.md has no '### `serve_bench_record`' field table"
+        )
+    else:
+        missing = [f for f in serve_bench_fields if f not in documented]
+        extra = [f for f in documented if f not in serve_bench_fields]
+        if missing:
+            problems.append(
+                f"serve_bench_record: fields {missing} in "
+                f"repro.serve.bench.SERVE_BENCH_FIELDS but undocumented"
+            )
+        if extra:
+            problems.append(
+                f"serve_bench_record: fields {extra} documented but not "
+                f"in repro.serve.bench.SERVE_BENCH_FIELDS"
+            )
+    return problems
+
+
 def main() -> int:
     """Run the check; print drift and return the exit code."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.faults.spec import FAULT_KINDS
-    from repro.obs.events import EVENT_FIELDS, FAULT_TYPES
+    from repro.obs.events import EVENT_FIELDS, FAULT_TYPES, SERVICE_TYPES
     from repro.perf.record import BENCH_FIELDS
+    from repro.serve.bench import SERVE_BENCH_FIELDS
+    from repro.serve.protocol import OPS, REJECT_REASONS
 
     doc_schema = parse_doc_schema(DOC_PATH.read_text())
     code_fields = {k: list(v) for k, v in EVENT_FIELDS.items()}
@@ -165,6 +227,18 @@ def main() -> int:
         problems.extend(
             check_perf_doc(PERF_DOC_PATH.read_text(), list(BENCH_FIELDS))
         )
+    if not SERVE_DOC_PATH.exists():
+        problems.append("docs/SERVE.md is missing")
+    else:
+        problems.extend(
+            check_serve_doc(
+                SERVE_DOC_PATH.read_text(),
+                list(OPS),
+                list(SERVICE_TYPES),
+                list(REJECT_REASONS),
+                list(SERVE_BENCH_FIELDS),
+            )
+        )
     if problems:
         for problem in problems:
             print(f"DRIFT: {problem}", file=sys.stderr)
@@ -173,7 +247,9 @@ def main() -> int:
         f"docs/OBSERVABILITY.md in sync: {len(code_fields)} event types, "
         f"{sum(len(v) for v in code_fields.values())} fields; "
         f"docs/FAULTS.md in sync: {len(FAULT_KINDS)} fault kinds; "
-        f"docs/PERFORMANCE.md in sync: {len(BENCH_FIELDS)} bench fields"
+        f"docs/PERFORMANCE.md in sync: {len(BENCH_FIELDS)} bench fields; "
+        f"docs/SERVE.md in sync: {len(OPS)} ops, "
+        f"{len(SERVE_BENCH_FIELDS)} serve bench fields"
     )
     return 0
 

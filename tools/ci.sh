@@ -8,7 +8,11 @@
 #      docs/OBSERVABILITY.md, docs/FAULTS.md and docs/PERFORMANCE.md
 #      truthful.
 #   3. the tier-1 pytest suite.
-#   4. perf smoke              — `repro bench --compare` of the tiny
+#   4. serve smoke             — tools/serve_smoke.py boots
+#      `python -m repro serve` as a subprocess, drives three jobs
+#      through the socket, and requires a drained, clean exit within a
+#      hard timeout (see docs/SERVE.md).
+#   5. perf smoke              — `repro bench --compare` of the tiny
 #      fluid scenario against the checked-in fallback-backend baseline
 #      (benchmarks/baselines/BENCH_fluid_tiny.json). Result anchors
 #      must match bit-for-bit ([DRIFT] fails: the simulation changed);
@@ -30,6 +34,9 @@ python tools/check_obs_docs.py
 
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
+
+echo "== serve smoke (tools/serve_smoke.py) =="
+python tools/serve_smoke.py
 
 echo "== perf smoke (bench --compare) =="
 python -m repro bench --backend fallback --no-write --threshold 3.0 \

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI smoke test for ``python -m repro serve``.
+
+Boots the service as a real subprocess (ephemeral port), drives three
+jobs through it over the socket with :class:`repro.serve.ServeClient`,
+verifies they all finish under a drain shutdown, and checks the process
+exits cleanly — the whole cycle bounded by a hard timeout so a hung
+service fails CI instead of wedging it.
+
+Usage: PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TIMEOUT_S = 60.0
+
+
+def _job(job_id: str, submit_s: float) -> dict:
+    return {
+        "v": 1,
+        "job_id": job_id,
+        "model": "resnet50",
+        "dataset": {"name": "imagenet-tiny", "size_mb": 512.0,
+                    "num_items": 1000},
+        "num_gpus": 2,
+        "ideal_throughput_mbps": 200.0,
+        "total_work_mb": 2048.0,
+        "submit_time_s": submit_s,
+        "regular": True,
+    }
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--port", "0", "--gpus", "8", "--queue-limit", "8"],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + TIMEOUT_S
+    try:
+        # The service announces its ephemeral port on stdout.
+        port = None
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            match = re.match(r"serve: listening on ([\d.]+):(\d+)", line)
+            if match:
+                port = int(match.group(2))
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError("service never announced its port")
+        if port is None:
+            raise RuntimeError("service exited before announcing its port")
+
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.serve.client import ServeClient
+
+        with ServeClient("127.0.0.1", port, timeout_s=TIMEOUT_S) as client:
+            assert client.ping()["pong"] is True
+            for i in range(3):
+                response = client.submit(_job(f"smoke-{i}", float(i)))
+                assert response["ok"], response
+            status = client.status()
+            assert status["jobs_submitted"] == 3, status
+            client.shutdown(drain=True)
+
+        returncode = proc.wait(timeout=max(1.0, deadline - time.monotonic()))
+        tail = proc.stdout.read()
+        if returncode != 0:
+            print(tail)
+            print(f"FAIL: serve exited with {returncode}", file=sys.stderr)
+            return 1
+        if "drained after 3 submissions, 3 finished" not in tail:
+            print(tail)
+            print("FAIL: drain summary missing or wrong", file=sys.stderr)
+            return 1
+        print("serve smoke: 3 jobs submitted, drained, clean exit")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
