@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the end-to-end workflow:
+Nine subcommands cover the end-to-end workflow:
 
 * ``trace``     — generate a synthetic trace (JSON Lines) and print its
   summary statistics;
@@ -13,7 +13,10 @@ Eight subcommands cover the end-to-end workflow:
   allocation (a calculator for Eq 4 / Eq 5);
 * ``report``    — render timeline / scheduler-audit / cache tables from
   an event log written by ``run --events``, or tail a live service with
-  ``--tail HOST:PORT``;
+  ``--tail HOST:PORT`` (``--slo`` adds the deadline-attainment table);
+* ``explain``   — reconstruct the decision provenance of one job from an
+  event log: the Eq. 4 estimator inputs, policy score, and resulting
+  GPU / cache / IO grants of every allocation round that touched it;
 * ``serve``     — run the long-lived online scheduler service: job
   submissions over a line-JSON socket against simulated virtual time
   (see ``docs/SERVE.md``);
@@ -31,6 +34,7 @@ for the event schema.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -45,7 +49,9 @@ from repro.serve.cli import configure_parser as configure_serve_parser
 from repro.obs import (
     Tracer,
     load_events,
+    render_explain,
     render_report,
+    render_slo_report,
     save_chrome_trace,
     save_events,
     save_timeline_csv,
@@ -253,11 +259,22 @@ def _tail_events(target: str):
         raise SystemExit(f"--tail expects HOST:PORT, got {target!r}")
     print(f"tailing {host}:{port} (report renders when the service exits)")
     events = []
-    with ServeClient(host, int(port)) as client:
-        for obj in client.tail():
-            if obj.get("kind") == "repro-events":
-                continue  # stream header
-            events.append(Event.from_dict(obj))
+    try:
+        with ServeClient(host, int(port)) as client:
+            for obj in client.tail():
+                if obj.get("kind") == "repro-events":
+                    continue  # stream header
+                events.append(Event.from_dict(obj))
+    except (ConnectionError, OSError, json.JSONDecodeError) as exc:
+        # A dropped socket mid-stream is an operational condition, not a
+        # bug: report it plainly and render what already arrived.
+        print(
+            f"connection to {host}:{port} closed mid-stream "
+            f"({type(exc).__name__}: {exc}); rendering the "
+            f"{len(events)} events received so far — rerun "
+            f"`repro report --tail {host}:{port}` to reconnect",
+            file=sys.stderr,
+        )
     return events
 
 
@@ -269,12 +286,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("report needs an event-log path or --tail HOST:PORT")
     print(render_report(events, bins=args.bins))
+    if args.slo:
+        print()
+        print(render_slo_report(events))
     if args.chrome_trace:
         save_chrome_trace(events, args.chrome_trace)
         print(f"chrome trace -> {args.chrome_trace}")
     if args.csv:
         save_timeline_csv(events, args.csv, bins=args.bins)
         print(f"timeline CSV -> {args.csv}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    events = load_events(args.events)
+    print(render_explain(events, args.job_id))
+    known = {e.job_id for e in events if e.job_id}
+    if args.job_id not in known:
+        print(
+            f"note: {args.job_id!r} appears in no event of {args.events}; "
+            f"known jobs: {', '.join(sorted(known)) or '(none)'}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -460,7 +494,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the binned timeline as CSV",
     )
+    p_report.add_argument(
+        "--slo",
+        action="store_true",
+        help="append the per-deadline-job SLO attainment table "
+        "(jobs submitted with deadline_s; see docs/OBSERVABILITY.md)",
+    )
     p_report.set_defaults(func=_cmd_report)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="reconstruct one job's decision provenance from an event log",
+    )
+    p_explain.add_argument("events", help="event-log JSONL path")
+    p_explain.add_argument(
+        "job_id", help="the job to explain (its job_submit job_id)"
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_lint = sub.add_parser(
         "lint", help="run the invariant linter (repro.lint)"

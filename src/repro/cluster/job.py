@@ -64,6 +64,11 @@ class Job:
     weight:
         Fair-share weight (Gavel supports weighted objectives): a job of
         weight 2 is entitled to twice the equal share. Default 1.
+    deadline_s:
+        Optional JCT budget relative to submission (an SLO). Jobs with a
+        deadline are watched by the :class:`repro.obs.slo.SLOTracker`,
+        which emits ``slo_warn``/``slo_violation`` events; ``None``
+        (the default) means no SLO.
     """
 
     job_id: str
@@ -75,6 +80,7 @@ class Job:
     submit_time_s: float = 0.0
     regular: bool = True
     weight: float = 1.0
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -85,6 +91,10 @@ class Job:
             raise ValueError(f"job {self.job_id}: total work must be positive")
         if self.weight <= 0:
             raise ValueError(f"job {self.job_id}: weight must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"job {self.job_id}: deadline_s must be positive when set"
+            )
 
     @property
     def num_epochs(self) -> float:

@@ -59,6 +59,13 @@ class ScheduleContext:
     #: hot loops use plain dict lookups instead of a Python callable —
     #: the two views must agree, and ``effective_cache_map`` wins.
     effective_cache_map: Optional[Dict[str, float]] = None
+    #: Out-parameter: the score each policy ordered/sized jobs by this
+    #: round (arrival rank for FIFO, the Eq 6/7 completion-time score
+    #: for SJF, attained service for LAS, the max-min throughput target
+    #: for Gavel). Policies fill it during ``schedule``; the decision-
+    #: provenance layer (``repro.obs.prov``) carries it into the
+    #: ``decision_job`` events.
+    job_scores: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def effective_hits_mb(self, job: Job, allocated_cache_mb: float) -> float:
         """Bytes of cache a job can hit *right now* under an allocation."""

@@ -48,6 +48,8 @@ class FifoPolicy(SchedulingPolicy):
     ) -> Allocation:
         allocation = Allocation()
         ordered = self.order(jobs)
+        for rank, job in enumerate(ordered):
+            ctx.job_scores[job.job_id] = float(rank)
         admitted = admit_in_order(
             ordered, total.gpus, allocation, backfill=self._backfill
         )

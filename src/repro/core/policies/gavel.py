@@ -174,7 +174,7 @@ class GavelPolicy(SchedulingPolicy):
         if ctx.storage_aware:
             self._schedule_joint(jobs, total, ctx, shares, allocation)
         else:
-            self._schedule_compute_only(jobs, total, shares, allocation)
+            self._schedule_compute_only(jobs, total, shares, allocation, ctx)
         return allocation
 
     def _normalisers(
@@ -216,6 +216,7 @@ class GavelPolicy(SchedulingPolicy):
         total: ResourceVector,
         shares: Dict[str, EqualShare],
         allocation: Allocation,
+        ctx: ScheduleContext,
     ) -> None:
         """Progressive filling of GPU shares; ratio is x_j / x_eq_j."""
         active = list(jobs)
@@ -241,6 +242,7 @@ class GavelPolicy(SchedulingPolicy):
             active = [j for j in active if j not in saturated]
         for job_id, gpus in grants.items():
             allocation.grant_gpus(job_id, gpus)
+            ctx.job_scores[job_id] = gpus
 
     # ------------------------------------------------------------------
     # SiloD-Gavel: joint GPU + cache + IO max-min (Eq 9).
@@ -272,6 +274,9 @@ class GavelPolicy(SchedulingPolicy):
                 continue
             targets[active] = proposed[active]
             frozen[:] = True
+
+        for i, job in enumerate(arrays.jobs):
+            ctx.job_scores[job.job_id] = float(targets[i])
 
         cache_grants = arrays.cache_plan_with_budget(targets, total.cache_mb)
         for k, name in enumerate(arrays.ds_names):

@@ -72,6 +72,12 @@ class LasPolicy(SchedulingPolicy):
     ) -> Allocation:
         allocation = Allocation()
         ordered = self.order(jobs, ctx)
+        for job in ordered:
+            ctx.job_scores[job.job_id] = (
+                ctx.attained_service_s(job)
+                if ctx.attained_service_s is not None
+                else 0.0
+            )
         admitted = admit_in_order(ordered, total.gpus, allocation)
         if ctx.storage_aware and admitted:
             allocate_storage_greedily(

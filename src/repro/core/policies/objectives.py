@@ -53,6 +53,11 @@ class MaxTotalThroughputPolicy(SchedulingPolicy):
                 key=lambda j: -ctx.estimator.compute_bound(j, j.num_gpus)
                 / j.num_gpus,
             )
+            for job in ranked:
+                ctx.job_scores[job.job_id] = (
+                    ctx.estimator.compute_bound(job, job.num_gpus)
+                    / job.num_gpus
+                )
             free = total.gpus
             for job in ranked:
                 if job.num_gpus <= free:
@@ -89,6 +94,8 @@ class MaxTotalThroughputPolicy(SchedulingPolicy):
             return f_star / weight if weight > 0 else float("inf")
 
         ranked = sorted(jobs, key=lambda j: (-density(j), j.job_id))
+        for job in ranked:
+            ctx.job_scores[job.job_id] = density(job)
         free_gpus = total.gpus
         free_io = total.remote_io_mbps
         for job in ranked:

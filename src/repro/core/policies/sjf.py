@@ -125,6 +125,10 @@ class SjfPolicy(SchedulingPolicy):
         ctx: ScheduleContext,
     ) -> Allocation:
         allocation = Allocation()
+        for job in jobs:
+            ctx.job_scores[job.job_id] = sjf_score(
+                job, total, ctx.estimator, ctx.storage_aware
+            )
         ordered = self.order(jobs, total, ctx)
         admitted = admit_in_order(ordered, total.gpus, allocation)
         if ctx.storage_aware and admitted:

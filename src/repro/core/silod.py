@@ -57,6 +57,11 @@ class SiloDScheduler:
         self.estimator = estimator or SiloDPerfEstimator()
         self.storage_aware = storage_aware
         self.tracer = tracer
+        #: Per-job policy scores from the most recent :meth:`schedule`
+        #: call (merged across partitions). Read by the simulators to
+        #: stamp ``decision_job`` provenance events; empty before the
+        #: first round.
+        self.last_scores: Dict[str, float] = {}
 
     def schedule(
         self,
@@ -84,6 +89,7 @@ class SiloDScheduler:
         # scheduling, so determinism of the run is unaffected.
         # lint: disable=DET003
         t0 = time.perf_counter() if tracer.enabled else 0.0
+        self.last_scores = {}
         # The regular list is only needed when partitioning actually
         # happens — in the (common) all-regular case one pass suffices.
         irregular = [j for j in jobs if not j.regular]
@@ -147,7 +153,9 @@ class SiloDScheduler:
             tracer=self.tracer,
             effective_cache_map=effective_cache_map,
         )
-        return self.policy.schedule(jobs, total, ctx)
+        allocation = self.policy.schedule(jobs, total, ctx)
+        self.last_scores.update(ctx.job_scores)
+        return allocation
 
     def _schedule_partitioned(
         self,

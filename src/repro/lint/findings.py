@@ -40,6 +40,9 @@ RULES: Dict[str, str] = {
     "(EVENT_TYPES vs EVENT_FIELDS drift)",
     "OBS004": "service-lifecycle event (SERVICE_TYPES) emitted outside "
     "repro/serve/ (only the online service narrates its own life)",
+    "OBS005": "simulator-scoped event (SIMULATOR_SCOPED_TYPES) emitted "
+    "outside repro/sim/ (provenance/SLO events must come from the "
+    "shared simulator code path)",
     "POL001": "policy class does not implement the SchedulingPolicy "
     "interface (schedule() and a `name` attribute)",
     "POL002": "policy module imports simulator internals (repro.sim)",

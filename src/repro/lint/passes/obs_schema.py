@@ -21,6 +21,13 @@ invariant.
   online one and break the serve/batch event-log equivalence contract.
   The typed helpers in ``obs/tracer.py`` are the one exemption — they
   define the emission API the service calls.
+* ``OBS005`` — the mirror image: a simulator-scoped event
+  (:data:`repro.obs.events.SIMULATOR_SCOPED_TYPES` — decision
+  provenance and SLO tracking) emitted outside ``repro/sim/`` and the
+  obs modules that implement the emission (``obs/tracer.py``,
+  ``obs/prov.py``, ``obs/slo.py``). Provenance must come from the one
+  simulator code path both batch and serve share; a serve-side emit
+  would fork the streams and break their bit-identity.
 
 Dynamic event types (a variable holding the type) are skipped — the
 runtime validator (:func:`repro.obs.events.validate_event`) still
@@ -67,7 +74,7 @@ class ObsSchemaPass(LintPass):
     """Check emit sites against the declared event schema."""
 
     name = "obs-schema"
-    rules = ("OBS001", "OBS002", "OBS003", "OBS004")
+    rules = ("OBS001", "OBS002", "OBS003", "OBS004", "OBS005")
 
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan emit calls; self-check the schema module itself."""
@@ -88,6 +95,10 @@ class ObsSchemaPass(LintPass):
                     findings.extend(
                         self._check_service_scope(src, node, etype)
                     )
+                if etype in events.SIMULATOR_SCOPED_TYPES:
+                    findings.extend(
+                        self._check_simulator_scope(src, node, etype)
+                    )
             elif func.attr in events.EVENT_FIELDS and _receiver_is_tracer(
                 func
             ):
@@ -97,6 +108,10 @@ class ObsSchemaPass(LintPass):
                 if func.attr in events.SERVICE_TYPES:
                     findings.extend(
                         self._check_service_scope(src, node, func.attr)
+                    )
+                if func.attr in events.SIMULATOR_SCOPED_TYPES:
+                    findings.extend(
+                        self._check_simulator_scope(src, node, func.attr)
                     )
         return findings
 
@@ -115,6 +130,31 @@ class ObsSchemaPass(LintPass):
                 "repro/serve/; only the online service may narrate "
                 "service start/stop, admission rejections, and clock "
                 "changes (see docs/SERVE.md)",
+            )
+        ]
+
+    def _check_simulator_scope(
+        self, src: SourceFile, node: ast.Call, etype: str
+    ) -> List[Finding]:
+        """OBS005: provenance/SLO events belong to the simulators."""
+        rel = src.rel_path
+        allowed = (
+            "repro/sim/" in rel
+            or rel.endswith("obs/tracer.py")
+            or rel.endswith("obs/prov.py")
+            or rel.endswith("obs/slo.py")
+        )
+        if allowed:
+            return []
+        return [
+            src.finding(
+                node,
+                "OBS005",
+                f"simulator-scoped event {etype!r} emitted outside "
+                "repro/sim/; decision provenance and SLO events must "
+                "come from the shared simulator code path so batch and "
+                "serve event logs stay bit-identical "
+                "(see docs/OBSERVABILITY.md)",
             )
         ]
 

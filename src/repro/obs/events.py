@@ -49,6 +49,19 @@ Event types
 ``job_cancel``
     A job was withdrawn online before finishing (emitted by the
     simulators' ``cancel_job``, so it is not service-scoped).
+``decision_epoch`` / ``decision_job``
+    Decision provenance: one ``decision_epoch`` per storage-decision
+    round (who was running, what totals were divided) followed by one
+    ``decision_job`` per running job carrying the Eq. 4 estimator
+    inputs (``f*``, hit ratio, IO grant), the policy score, and the
+    resulting allocation. Emitted by the simulators only (lint rule
+    OBS005), so batch and online runs produce identical provenance.
+``slo_warn`` / ``slo_violation``
+    SLO tracking against a job's optional ``deadline_s`` (a JCT
+    budget): a single warning as the budget nears exhaustion, and a
+    single violation when it is exceeded — while still running or,
+    failing that, at finish. Simulator-scoped like provenance
+    (lint rule OBS005).
 """
 
 from __future__ import annotations
@@ -77,6 +90,10 @@ SERVICE_STOP = "service_stop"
 JOB_REJECT = "job_reject"
 JOB_CANCEL = "job_cancel"
 CLOCK_SET = "clock_set"
+DECISION_EPOCH = "decision_epoch"
+DECISION_JOB = "decision_job"
+SLO_WARN = "slo_warn"
+SLO_VIOLATION = "slo_violation"
 
 #: Every event type, in documentation order.
 EVENT_TYPES = (
@@ -101,6 +118,10 @@ EVENT_TYPES = (
     JOB_REJECT,
     JOB_CANCEL,
     CLOCK_SET,
+    DECISION_EPOCH,
+    DECISION_JOB,
+    SLO_WARN,
+    SLO_VIOLATION,
 )
 
 #: The job-lifecycle subset both simulators must emit identically.
@@ -124,11 +145,30 @@ FAULT_TYPES = (
     JOB_RESTART,
 )
 
+#: Decision-provenance and SLO subset. Only the simulators (and the
+#: typed helpers in ``obs/tracer.py`` that define the emission API) may
+#: emit these — enforced by lint rule OBS005. The online service reuses
+#: the simulator code path, which is what keeps batch and serve
+#: provenance bit-identical.
+SIMULATOR_SCOPED_TYPES = (
+    DECISION_EPOCH,
+    DECISION_JOB,
+    SLO_WARN,
+    SLO_VIOLATION,
+)
+
 #: Field names each event type carries (beyond ``ts_s``/``etype``/
 #: ``job_id``). The docs-consistency check enforces that the schema
 #: tables in ``docs/OBSERVABILITY.md`` list exactly these.
 EVENT_FIELDS: Dict[str, tuple] = {
-    JOB_SUBMIT: ("model", "dataset", "num_gpus", "dataset_mb", "total_work_mb"),
+    JOB_SUBMIT: (
+        "model",
+        "dataset",
+        "num_gpus",
+        "dataset_mb",
+        "total_work_mb",
+        "deadline_s",
+    ),
     JOB_START: ("gpus", "queue_delay_s"),
     JOB_FINISH: ("jct_s", "epochs_done"),
     SCHED_DECISION: (
@@ -164,6 +204,29 @@ EVENT_FIELDS: Dict[str, tuple] = {
     JOB_REJECT: ("reason", "queue_depth"),
     JOB_CANCEL: ("reason", "work_done_mb"),
     CLOCK_SET: ("action", "speedup", "virtual_s"),
+    DECISION_EPOCH: (
+        "round",
+        "trigger",
+        "num_running",
+        "num_queued",
+        "gpus_total",
+        "cache_total_mb",
+        "io_total_mbps",
+    ),
+    DECISION_JOB: (
+        "round",
+        "gpus",
+        "cache_mb",
+        "io_mbps",
+        "f_star_mbps",
+        "hit_ratio",
+        "est_mbps",
+        "io_bound",
+        "eff_cache_mb",
+        "score",
+    ),
+    SLO_WARN: ("deadline_s", "elapsed_s", "remaining_s", "ratio"),
+    SLO_VIOLATION: ("deadline_s", "jct_s", "overrun_s", "state"),
 }
 
 

@@ -1,11 +1,14 @@
-"""Counters and gauges with cluster-wide and per-job scopes.
+"""Counters, gauges, and sliding windows with cluster/job scopes.
 
 The registry complements the event log: events answer "what happened,
 in what order", the registry answers "how much, in total" without
 replaying anything. A :class:`~repro.obs.tracer.Tracer` owns one and
 bumps per-event-type counters automatically; instrumented layers
 (scheduler, policies, cache systems) add their own domain counters
-(decision rounds, bytes admitted, throttled jobs, ...).
+(decision rounds, bytes admitted, throttled jobs, ...). Sliding-window
+histograms (:mod:`repro.obs.windows`) ride alongside for the signals
+whose *distribution* matters — decision latency, queue depth, cache
+hit ratio, JCT — and surface p50/p95/p99 in the snapshot.
 
 Scopes
 ------
@@ -14,22 +17,37 @@ Every metric lives in the *cluster* scope by default; passing
 independent — incrementing a job-scoped counter does not touch the
 cluster-scoped counter of the same name, so emitting sites decide
 explicitly what aggregates where.
+
+Snapshot stability
+------------------
+``snapshot()`` is diff-friendly by contract: it carries a
+``schema_version`` key, and every mapping is emitted in sorted key
+order (jobs sorted by id, metrics sorted by name), so two snapshots of
+equal state serialise to identical JSON. Bench artifacts and serve
+``metrics`` responses rely on this.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.obs.windows import DEFAULT_CAPACITY, SlidingWindow
+
 #: Internal scope key for cluster-wide metrics.
 _CLUSTER = None
 
+#: Version of the ``snapshot()`` layout. Bump on any structural change
+#: (new top-level key, renamed bucket) so consumers can detect drift.
+METRICS_SCHEMA_VERSION = 2
+
 
 class MetricsRegistry:
-    """In-memory counters (monotonic) and gauges (last-value)."""
+    """In-memory counters (monotonic), gauges (last-value), windows."""
 
     def __init__(self) -> None:
         self._counters: Dict[Tuple[Optional[str], str], float] = {}
         self._gauges: Dict[Tuple[Optional[str], str], float] = {}
+        self._windows: Dict[Tuple[Optional[str], str], SlidingWindow] = {}
 
     # ------------------------------------------------------------------
     # Writing.
@@ -50,6 +68,26 @@ class MetricsRegistry:
         """Record the latest value of a gauge."""
         self._gauges[(job_id, name)] = value
 
+    def observe(
+        self,
+        name: str,
+        ts_s: float,
+        value: float,
+        job_id: Optional[str] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        """Add one sample to a sliding window (created on first use).
+
+        ``ts_s`` is simulation time; the window's eviction and
+        percentiles are deterministic functions of the observed
+        ``(ts_s, value)`` sequence (see :mod:`repro.obs.windows`).
+        """
+        key = (job_id, name)
+        window = self._windows.get(key)
+        if window is None:
+            window = self._windows[key] = SlidingWindow(capacity=capacity)
+        window.observe(ts_s, value)
+
     # ------------------------------------------------------------------
     # Reading.
     # ------------------------------------------------------------------
@@ -64,18 +102,34 @@ class MetricsRegistry:
         """Latest value of a gauge, or ``None`` if never set."""
         return self._gauges.get((job_id, name))
 
+    def window(
+        self, name: str, job_id: Optional[str] = None
+    ) -> Optional[SlidingWindow]:
+        """The live window of ``name``, or ``None`` if never observed."""
+        return self._windows.get((job_id, name))
+
     def job_ids(self) -> list:
         """Every job id that owns at least one metric, sorted."""
         ids = {
             scope
-            for scope, _name in (*self._counters, *self._gauges)
+            for scope, _name in (
+                *self._counters,
+                *self._gauges,
+                *self._windows,
+            )
             if scope is not None
         }
         return sorted(ids)
 
     def snapshot(self) -> dict:
-        """A nested, JSON-safe dump: cluster scope plus one per job."""
+        """A nested, JSON-safe dump: cluster scope plus one per job.
+
+        Key order is stable (see module docstring): metric names are
+        sorted within each bucket and jobs are sorted by id, so equal
+        registries serialise identically.
+        """
         out: dict = {
+            "schema_version": METRICS_SCHEMA_VERSION,
             "cluster": {"counters": {}, "gauges": {}},
             "jobs": {},
         }
@@ -95,9 +149,16 @@ class MetricsRegistry:
                                            key=lambda kv: (kv[0][0] or "",
                                                            kv[0][1])):
             _bucket(scope)["gauges"][name] = value
+        for (scope, name), window in sorted(self._windows.items(),
+                                            key=lambda kv: (kv[0][0] or "",
+                                                            kv[0][1])):
+            _bucket(scope).setdefault("windows", {})[name] = (
+                window.snapshot()
+            )
         return out
 
     def clear(self) -> None:
         """Drop every metric (used between simulation runs)."""
         self._counters.clear()
         self._gauges.clear()
+        self._windows.clear()

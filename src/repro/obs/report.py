@@ -283,6 +283,61 @@ def fault_table(events: Sequence[Event]) -> List[dict]:
     return rows
 
 
+def slo_table(events: Sequence[Event]) -> List[dict]:
+    """Per-deadline-job SLO attainment rows (``report --slo``).
+
+    One row per job that declared a ``deadline_s``, built from the
+    ``job_submit`` / ``job_finish`` / ``slo_warn`` / ``slo_violation``
+    events alone. ``status`` is ``met`` (finished inside the budget),
+    ``warned`` (budget mostly spent but met), ``violated``, or
+    ``running`` (no finish in the log and no violation yet). Empty when
+    no job carried a deadline.
+    """
+    jobs: Dict[str, dict] = {}
+    for event in events:
+        if event.etype == ev.JOB_SUBMIT:
+            deadline = event.fields.get("deadline_s")
+            if deadline is None:
+                continue
+            jobs[event.job_id] = {
+                "job": event.job_id,
+                "deadline_min": units.seconds_to_minutes(float(deadline)),
+                "jct_min": None,
+                "margin_min": None,
+                "status": "running",
+            }
+        elif event.etype == ev.SLO_WARN and event.job_id in jobs:
+            row = jobs[event.job_id]
+            if row["status"] == "running":
+                row["status"] = "warned"
+        elif event.etype == ev.SLO_VIOLATION and event.job_id in jobs:
+            jobs[event.job_id]["status"] = "violated"
+        elif event.etype == ev.JOB_FINISH and event.job_id in jobs:
+            row = jobs[event.job_id]
+            jct_min = units.seconds_to_minutes(
+                float(event.fields.get("jct_s", 0.0))
+            )
+            row["jct_min"] = jct_min
+            row["margin_min"] = row["deadline_min"] - jct_min
+            if row["status"] in ("running", "warned"):
+                row["status"] = "met"
+    return sorted(jobs.values(), key=lambda r: r["job"])
+
+
+def slo_attainment(events: Sequence[Event]) -> Optional[dict]:
+    """Headline attainment: jobs meeting their deadline / jobs with one."""
+    rows = slo_table(events)
+    if not rows:
+        return None
+    met = sum(1 for r in rows if r["status"] == "met")
+    return {
+        "jobs_with_deadline": len(rows),
+        "met": met,
+        "violated": sum(1 for r in rows if r["status"] == "violated"),
+        "attainment": met / len(rows),
+    }
+
+
 def summary_rows(events: Sequence[Event]) -> List[dict]:
     """Run-level aggregates (the ``run`` command's headline numbers)."""
     jobs = job_table(events)
@@ -307,6 +362,22 @@ def summary_rows(events: Sequence[Event]) -> List[dict]:
             "value": len(events),
         },
     ]
+
+
+def render_slo_report(events: Sequence[Event]) -> str:
+    """The ``report --slo`` section: attainment headline plus table."""
+    rows = slo_table(events)
+    if not rows:
+        return "SLO attainment: no job declared a deadline_s"
+    summary = slo_attainment(events)
+    headline = (
+        f"SLO attainment: {summary['met']}/{summary['jobs_with_deadline']}"
+        f" ({100.0 * summary['attainment']:.1f}%) met,"
+        f" {summary['violated']} violated"
+    )
+    return headline + "\n\n" + render_table(
+        rows, title="deadline attainment (times in minutes)"
+    )
 
 
 def render_report(events: Sequence[Event], bins: int = 24) -> str:

@@ -98,6 +98,7 @@ class Tracer:
         num_gpus: int,
         dataset_mb: float,
         total_work_mb: float,
+        deadline_s: Optional[float] = None,
     ) -> None:
         """A job entered the cluster queue."""
         self.emit(
@@ -109,6 +110,7 @@ class Tracer:
             num_gpus=num_gpus,
             dataset_mb=dataset_mb,
             total_work_mb=total_work_mb,
+            deadline_s=deadline_s,
         )
 
     def job_start(
@@ -130,6 +132,8 @@ class Tracer:
         self.emit(
             ts_s, ev.JOB_FINISH, job_id, jct_s=jct_s, epochs_done=epochs_done
         )
+        if self.enabled:
+            self.metrics.observe("jct_s", ts_s, jct_s)
 
     def sched_decision(
         self,
@@ -159,6 +163,14 @@ class Tracer:
             io_granted_mbps=io_granted_mbps,
             latency_ms=latency_ms,
         )
+        if self.enabled:
+            # Window samples: decision latency is wall-clock by design
+            # (observability-only, like the latency_ms field itself);
+            # queue depth is the jobs visible but not running.
+            self.metrics.observe("decision_latency_ms", ts_s, latency_ms)
+            self.metrics.observe(
+                "queue_depth", ts_s, float(num_jobs - num_running)
+            )
 
     def alloc_change(
         self,
@@ -259,8 +271,10 @@ class Tracer:
             grant_mbps=grant_mbps,
             capped=capped,
         )
-        if capped and self.enabled:
-            self.metrics.inc("io.throttled_rounds", job_id=job_id)
+        if self.enabled:
+            if capped:
+                self.metrics.inc("io.throttled_rounds", job_id=job_id)
+            self.metrics.observe("cache_hit_ratio", ts_s, hit_ratio)
 
     # ------------------------------------------------------------------
     # Fault-subsystem helpers (``repro.faults``).
@@ -436,6 +450,112 @@ class Tracer:
             speedup=speedup,
             virtual_s=virtual_s,
         )
+
+    # ------------------------------------------------------------------
+    # Decision-provenance and SLO helpers (simulator-scoped; lint rule
+    # OBS005 confines their emission to ``repro/sim/`` and the prov/slo
+    # modules so batch and online runs stay bit-identical).
+    # ------------------------------------------------------------------
+
+    def decision_epoch(
+        self,
+        ts_s: float,
+        round: int,
+        trigger: str,
+        num_running: int,
+        num_queued: int,
+        gpus_total: float,
+        cache_total_mb: float,
+        io_total_mbps: float,
+    ) -> None:
+        """One storage-decision round's cluster-level context."""
+        self.emit(
+            ts_s,
+            ev.DECISION_EPOCH,
+            round=round,
+            trigger=trigger,
+            num_running=num_running,
+            num_queued=num_queued,
+            gpus_total=gpus_total,
+            cache_total_mb=cache_total_mb,
+            io_total_mbps=io_total_mbps,
+        )
+
+    def decision_job(
+        self,
+        ts_s: float,
+        job_id: str,
+        round: int,
+        gpus: float,
+        cache_mb: float,
+        io_mbps: float,
+        f_star_mbps: float,
+        hit_ratio: float,
+        est_mbps: float,
+        io_bound: bool,
+        eff_cache_mb: float,
+        score: float,
+    ) -> None:
+        """One job's Eq. 4 inputs and resulting allocation this round."""
+        self.emit(
+            ts_s,
+            ev.DECISION_JOB,
+            job_id,
+            round=round,
+            gpus=gpus,
+            cache_mb=cache_mb,
+            io_mbps=io_mbps,
+            f_star_mbps=f_star_mbps,
+            hit_ratio=hit_ratio,
+            est_mbps=est_mbps,
+            io_bound=io_bound,
+            eff_cache_mb=eff_cache_mb,
+            score=score,
+        )
+
+    def slo_warn(
+        self,
+        ts_s: float,
+        job_id: str,
+        deadline_s: float,
+        elapsed_s: float,
+        remaining_s: float,
+        ratio: float,
+    ) -> None:
+        """A job's JCT budget is nearly exhausted (emitted once)."""
+        self.emit(
+            ts_s,
+            ev.SLO_WARN,
+            job_id,
+            deadline_s=deadline_s,
+            elapsed_s=elapsed_s,
+            remaining_s=remaining_s,
+            ratio=ratio,
+        )
+        if self.enabled:
+            self.metrics.inc("slo.warnings")
+
+    def slo_violation(
+        self,
+        ts_s: float,
+        job_id: str,
+        deadline_s: float,
+        jct_s: float,
+        overrun_s: float,
+        state: str,
+    ) -> None:
+        """A job exceeded its JCT budget (emitted once per job)."""
+        self.emit(
+            ts_s,
+            ev.SLO_VIOLATION,
+            job_id,
+            deadline_s=deadline_s,
+            jct_s=jct_s,
+            overrun_s=overrun_s,
+            state=state,
+        )
+        if self.enabled:
+            self.metrics.inc("slo.violations")
 
 
 class NullTracer(Tracer):

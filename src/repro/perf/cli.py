@@ -14,6 +14,7 @@ Three modes (worked examples in ``docs/CLI.md`` and
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import List
 
@@ -128,6 +129,16 @@ def _list_catalogue() -> str:
     return "\n".join(lines)
 
 
+def _is_serve_baseline(path) -> bool:
+    """True when a ``--compare`` artifact is a serve bench record."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read baseline {path}: {exc}") from exc
+    scenario = raw.get("scenario")
+    return isinstance(scenario, str) and scenario.startswith("serve_")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the bench subcommand; returns the process exit code."""
     if args.list_scenarios:
@@ -135,13 +146,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     out_dir = Path(args.out_dir) if args.out_dir else repo_root()
-    baselines = [load_record(path) for path in args.compare]
+    # Serve baselines (BENCH_serve_*.json) have their own schema and
+    # comparison; route them by the record's scenario name, lazily so
+    # plain batch benches never touch asyncio.
+    serve_baseline_paths = [
+        p for p in args.compare if _is_serve_baseline(p)
+    ]
+    baselines = [
+        load_record(path)
+        for path in args.compare
+        if path not in serve_baseline_paths
+    ]
+    serve_baselines = []
+    if serve_baseline_paths:
+        from repro.serve.bench import load_serve_record
+
+        serve_baselines = [
+            load_serve_record(path) for path in serve_baseline_paths
+        ]
     suite = args.suite
     if suite is None and not args.scenario and not baselines:
-        suite = "scale"
+        if not serve_baselines:
+            suite = "scale"
     names = list(args.scenario)
-    # Online scenarios route to the serve bench (repro.serve.bench);
-    # imported lazily so plain batch benches never touch asyncio.
+    # Online scenarios route to the serve bench (repro.serve.bench).
     serve_names = [n for n in names if n.startswith("serve_")]
     names = [n for n in names if not n.startswith("serve_")]
     for baseline in baselines:
@@ -152,6 +180,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         if baseline.scenario not in names:
             names.append(baseline.scenario)
+    for baseline in serve_baselines:
+        if baseline.scenario not in serve_names:
+            serve_names.append(baseline.scenario)
     specs = scenarios_for(suite, names)
     if not specs and not serve_names:
         raise SystemExit("nothing to run: no suite, scenario, or baseline")
@@ -187,6 +218,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if serve_names:
         from repro.serve.bench import (
             SERVE_SCENARIOS,
+            compare_serve_records,
             render_serve_record,
             run_serve_scenario,
             write_serve_record,
@@ -205,6 +237,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     record, out_dir / f"BENCH_{record.scenario}.json"
                 )
                 print(f"  -> {path}")
+            for baseline in serve_baselines:
+                if baseline.scenario != record.scenario:
+                    continue
+                deltas = compare_serve_records(
+                    record, baseline, threshold=args.threshold
+                )
+                print(
+                    f"  compare vs baseline ({baseline.created_utc}), "
+                    f"threshold {args.threshold:.0%}:"
+                )
+                for delta in deltas:
+                    print(f"    {delta.render()}")
+                if has_failures(deltas):
+                    failures += 1
     return 2 if failures else 0
 
 

@@ -25,7 +25,7 @@ from typing import Dict, List
 
 from repro import units
 from repro.cluster.hardware import Cluster
-from repro.perf.record import host_fingerprint, utc_now_iso
+from repro.perf.record import MetricDelta, host_fingerprint, utc_now_iso
 from repro.serve.client import ServeClient
 from repro.serve.clock import VirtualClock
 from repro.serve.engine import OnlineEngine, _percentile
@@ -39,7 +39,9 @@ from repro.workloads.trace import (
 from repro.workloads.trace_io import job_to_dict
 
 #: Version of the ``ServeBenchRecord`` JSON layout.
-SERVE_BENCH_SCHEMA_VERSION = 1
+#: v2 added ``decision_latency_p99_ms`` (the sliding-window p99 of the
+#: scheduler's wall-clock decision latency).
+SERVE_BENCH_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -113,6 +115,7 @@ class ServeBenchRecord:
     decisions_per_sec: float
     admit_to_place_p50_ms: float
     admit_to_place_p99_ms: float
+    decision_latency_p99_ms: float
     jobs_submitted: int
     jobs_finished: int
     created_utc: str
@@ -183,6 +186,7 @@ def run_serve_scenario(spec: ServeBenchScenario) -> ServeBenchRecord:
         ),
         admit_to_place_p50_ms=_percentile(samples, 0.50),
         admit_to_place_p99_ms=_percentile(samples, 0.99),
+        decision_latency_p99_ms=engine.decision_latency_p99_ms(),
         jobs_submitted=engine.jobs_submitted,
         jobs_finished=engine.jobs_finished,
         created_utc=utc_now_iso(),
@@ -226,5 +230,85 @@ def render_serve_record(record: ServeBenchRecord) -> str:
         f"{record.decisions_per_sec:,.1f} decisions/s, "
         f"admit→place p50 {record.admit_to_place_p50_ms:.1f} ms / "
         f"p99 {record.admit_to_place_p99_ms:.1f} ms, "
+        f"decision p99 {record.decision_latency_p99_ms:.1f} ms, "
         f"{record.jobs_finished}/{record.jobs_submitted} finished"
     )
+
+
+# ----------------------------------------------------------------------
+# Comparison (``repro bench --compare`` on serve baselines).
+# ----------------------------------------------------------------------
+
+#: Identity anchors that must match exactly for two serve records to be
+#: comparable at all (wall-clock noise never moves these).
+SERVE_ANCHOR_METRICS = ("num_jobs", "jobs_submitted", "jobs_finished")
+#: Metrics where bigger is better.
+SERVE_THROUGHPUT_METRICS = ("decisions_per_sec",)
+#: Metrics where smaller is better (regression = rise above baseline).
+SERVE_COST_METRICS = (
+    "wall_time_s",
+    "admit_to_place_p50_ms",
+    "admit_to_place_p99_ms",
+    "decision_latency_p99_ms",
+)
+
+
+def compare_serve_records(
+    current: ServeBenchRecord,
+    baseline: ServeBenchRecord,
+    threshold: float,
+) -> List[MetricDelta]:
+    """Per-metric deltas of ``current`` against a serve baseline.
+
+    Same contract as :func:`repro.perf.record.compare_records` — anchor
+    disagreement is drift, throughput regresses on a drop, cost (wall
+    time, latency percentiles) regresses on a rise beyond ``threshold``.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    for field in ("scenario", "simulator", "policy", "cache", "num_gpus"):
+        mine, theirs = getattr(current, field), getattr(baseline, field)
+        if mine != theirs:
+            raise ValueError(
+                f"cannot compare: {field} differs "
+                f"(current={mine!r}, baseline={theirs!r})"
+            )
+    deltas: List[MetricDelta] = []
+    for metric in SERVE_ANCHOR_METRICS:
+        base = float(getattr(baseline, metric))
+        cur = float(getattr(current, metric))
+        deltas.append(
+            MetricDelta(
+                metric=metric,
+                baseline=base,
+                current=cur,
+                ratio=(cur / base) if base else None,
+                regressed=False,
+                drift=abs(cur - base) > 1e-9 * max(1.0, abs(base)),
+            )
+        )
+    for metric in SERVE_THROUGHPUT_METRICS:
+        base = float(getattr(baseline, metric))
+        cur = float(getattr(current, metric))
+        deltas.append(
+            MetricDelta(
+                metric=metric,
+                baseline=base,
+                current=cur,
+                ratio=(cur / base) if base else None,
+                regressed=cur < base * (1.0 - threshold),
+            )
+        )
+    for metric in SERVE_COST_METRICS:
+        base = float(getattr(baseline, metric))
+        cur = float(getattr(current, metric))
+        deltas.append(
+            MetricDelta(
+                metric=metric,
+                baseline=base,
+                current=cur,
+                ratio=(cur / base) if base else None,
+                regressed=base > 0 and cur > base * (1.0 + threshold),
+            )
+        )
+    return deltas

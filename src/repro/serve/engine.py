@@ -315,6 +315,11 @@ class OnlineEngine:
             "events_recorded": len(self.tracer),
         }
 
+    def decision_latency_p99_ms(self) -> float:
+        """p99 of the sliding ``decision_latency_ms`` window (wall ms)."""
+        window = self.tracer.metrics.window("decision_latency_ms")
+        return window.percentile(0.99) if window is not None else 0.0
+
     def metrics(self) -> dict:
         """Counters/gauges plus serve-level latency percentiles."""
         samples = sorted(self._latency_ms)
@@ -328,6 +333,7 @@ class OnlineEngine:
                     "p50": _percentile(samples, 0.50),
                     "p99": _percentile(samples, 0.99),
                 },
+                "decision_latency_p99_ms": self.decision_latency_p99_ms(),
                 "queue_depth": self.stack.admission.depth,
                 "rejected_total": self.stack.admission.rejected_total,
             },

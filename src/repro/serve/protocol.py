@@ -133,6 +133,16 @@ def validate_request(data: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
             raise ProtocolError(
                 REJECT_INVALID, "submit requires an object field 'job'"
             )
+        deadline = job.get("deadline_s")
+        if deadline is not None and (
+            isinstance(deadline, bool)
+            or not isinstance(deadline, (int, float))
+            or deadline <= 0
+        ):
+            raise ProtocolError(
+                REJECT_INVALID,
+                "job.deadline_s must be a positive number when present",
+            )
     elif op == "cancel":
         if not isinstance(payload.get("job_id"), str):
             raise ProtocolError(

@@ -31,6 +31,10 @@ import threading
 from typing import List, Optional, Tuple
 
 from repro.obs.export import _HEADER as _EVENTS_HEADER
+from repro.obs.prom import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_metrics_response,
+)
 from repro.serve.engine import OnlineEngine
 from repro.serve.protocol import (
     HELLO,
@@ -322,19 +326,30 @@ class ServeServer:
                     break
             parts = request_line.decode("latin-1").split()
             path = parts[1] if len(parts) >= 2 else ""
-            if path == "/healthz":
-                body, status = {"ok": not self.engine.stopped}, "200 OK"
-            elif path == "/status":
-                body, status = self.engine.status(), "200 OK"
-            elif path == "/metrics":
-                body, status = self.engine.metrics(), "200 OK"
+            if path == "/metrics":
+                # Prometheus exposition text, not JSON — the one endpoint
+                # a scraper points at (see docs/SERVE.md).
+                payload = render_metrics_response(
+                    self.engine.metrics()
+                ).encode("utf-8")
+                status = "200 OK"
+                content_type = PROMETHEUS_CONTENT_TYPE
             else:
-                body, status = {"ok": False, "error": "not_found"}, "404 Not Found"
-            payload = json.dumps(body).encode()
+                if path == "/healthz":
+                    body, status = {"ok": not self.engine.stopped}, "200 OK"
+                elif path == "/status":
+                    body, status = self.engine.status(), "200 OK"
+                else:
+                    body, status = (
+                        {"ok": False, "error": "not_found"},
+                        "404 Not Found",
+                    )
+                payload = json.dumps(body).encode()
+                content_type = "application/json"
             writer.write(
                 (
                     f"HTTP/1.1 {status}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(payload)}\r\n"
                     "Connection: close\r\n\r\n"
                 ).encode()

@@ -54,6 +54,8 @@ from repro.core.resources import Allocation, ResourceVector
 from repro.core.silod import SiloDScheduler
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import ScheduleLike, as_schedule
+from repro.obs.prov import emit_decision_provenance
+from repro.obs.slo import SLOTracker
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.backend import numpy_enabled, require_numpy
 from repro.sim.jobtable import JobTable
@@ -217,6 +219,14 @@ class FluidSimulator:
         self.loop_events = 0
         #: Scheduling rounds run (``repro bench`` rounds/sec).
         self.sched_rounds = 0
+        #: Storage-decision rounds run; every round gets a unique index
+        #: in the ``decision_epoch``/``decision_job`` provenance events
+        #: (a policy reschedule and an epoch-boundary decision are
+        #: distinct rounds).
+        self.decision_rounds = 0
+        #: Deadline (``deadline_s``) watcher; checked only from the
+        #: event loop so warn/violation sequences are deterministic.
+        self._slo = SLOTracker(self._tracer)
 
         self.clock_s = 0.0
         self._arrival_idx = 0
@@ -369,7 +379,8 @@ class FluidSimulator:
             self._reschedule()
             self._next_reschedule = self.clock_s + self._reschedule_interval_s
         elif epoch_flip:
-            self._storage_decide()
+            self._storage_decide(trigger="epoch")
+        self._slo.check(self.clock_s)
 
         if self.clock_s >= self._next_sample:
             self._sample()
@@ -419,6 +430,7 @@ class FluidSimulator:
         for idx in range(self._arrival_idx, len(self._trace)):
             if self._trace[idx].job_id == job_id:
                 del self._trace[idx]
+                self._slo.discard(job_id)
                 if self._tracer.enabled:
                     self._tracer.job_cancel(
                         self.clock_s, job_id, reason=reason,
@@ -436,6 +448,7 @@ class FluidSimulator:
         self._finished.append(progress)
         del self._active[job_id]
         self._blocked.discard(job_id)
+        self._slo.discard(job_id)
         if self._tracer.enabled:
             self._tracer.job_cancel(
                 self.clock_s, job_id, reason=reason,
@@ -639,7 +652,11 @@ class FluidSimulator:
                     num_gpus=job.num_gpus,
                     dataset_mb=job.dataset.size_mb,
                     total_work_mb=job.total_work_mb,
+                    deadline_s=job.deadline_s,
                 )
+            self._slo.register(
+                job.job_id, job.submit_time_s, job.deadline_s
+            )
             changed = True
         if changed:
             self._invalidate_epoch_view()
@@ -668,6 +685,7 @@ class FluidSimulator:
                     jct_s=self.clock_s - progress.job.submit_time_s,
                     epochs_done=progress.epoch_index,
                 )
+            self._slo.finish(job_id, self.clock_s)
             self._effective.pop(job_id, None)
             key = self._job_key.get(job_id)
             sharers = self._key_jobs.get(key)
@@ -1020,7 +1038,8 @@ class FluidSimulator:
         self._epoch = view
         return view
 
-    def _storage_decide(self) -> None:
+    def _storage_decide(self, trigger: str = "reschedule") -> None:
+        self.decision_rounds += 1
         view = self._epoch_view()
         ctx = StorageContext(
             running_jobs=view.running,
@@ -1043,6 +1062,26 @@ class FluidSimulator:
         self._decision = self.cache_system.reallocate(ctx)
         self._apply_targets()
         self._recompute_rates(view.running)
+        if self._tracer.enabled:
+            emit_decision_provenance(
+                self._tracer,
+                self.clock_s,
+                self.decision_rounds,
+                trigger,
+                view.running,
+                len(view.queued),
+                self.total.gpus,
+                self.total.cache_mb,
+                self.total.remote_io_mbps,
+                view.gpu_grants,
+                self._key_of,
+                self._decision.cache_targets,
+                self._decision.hit_ratios,
+                self._decision.io_grants,
+                dict(zip(view.job_ids, view.f_stars)),
+                lambda job: self._effective.get(job.job_id, 0.0),
+                self.scheduler.last_scores,
+            )
 
     def _apply_targets(self) -> None:
         targets = self._decision.cache_targets

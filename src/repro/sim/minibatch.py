@@ -40,6 +40,8 @@ from repro.core.resources import Allocation, ResourceVector
 from repro.core.silod import SiloDScheduler
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import ScheduleLike, as_schedule
+from repro.obs.prov import emit_decision_provenance
+from repro.obs.slo import SLOTracker
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.metrics import JobRecord, RunResult, TimelineSample
 
@@ -197,6 +199,14 @@ class MinibatchEmulator:
         self.loop_events = 0
         #: Scheduling rounds run (``repro bench`` rounds/sec).
         self.sched_rounds = 0
+        #: Storage-decision rounds; unique index in the provenance
+        #: events (here every round is a reschedule — the emulator has
+        #: no separate epoch-triggered decisions).
+        self.decision_rounds = 0
+        #: Deadline (``deadline_s``) watcher; checked at interval
+        #: boundaries only, so warn/violation sequences are
+        #: deterministic.
+        self._slo = SLOTracker(self._tracer)
 
         self.clock_s = 0.0
         self._arrival_idx = 0
@@ -270,6 +280,7 @@ class MinibatchEmulator:
         self._retire_completions()
         self._apply_fault_schedule()
         self._reschedule()
+        self._slo.check(self.clock_s)
         t_end = self.clock_s + self._interval_s
         self._run_interval(t_end)
         if self.clock_s >= self._next_sample:
@@ -322,6 +333,7 @@ class MinibatchEmulator:
         for idx in range(self._arrival_idx, len(self._trace)):
             if self._trace[idx].job_id == job_id:
                 del self._trace[idx]
+                self._slo.discard(job_id)
                 if self._tracer.enabled:
                     self._tracer.job_cancel(
                         self.clock_s, job_id, reason=reason,
@@ -334,6 +346,7 @@ class MinibatchEmulator:
         self._finished.append(rt)
         del self._active[job_id]
         self._blocked.discard(job_id)
+        self._slo.discard(job_id)
         if self.cache_system.per_job_keys:
             self._uniform_caches.pop(job_id, None)
         if self._tracer.enabled:
@@ -383,7 +396,11 @@ class MinibatchEmulator:
                     num_gpus=job.num_gpus,
                     dataset_mb=job.dataset.size_mb,
                     total_work_mb=job.total_work_mb,
+                    deadline_s=job.deadline_s,
                 )
+            self._slo.register(
+                job.job_id, job.submit_time_s, job.deadline_s
+            )
 
     def _retire_completions(self) -> None:
         for job_id in list(self._active):
@@ -393,18 +410,19 @@ class MinibatchEmulator:
                 del self._active[job_id]
                 if self.cache_system.per_job_keys:
                     self._uniform_caches.pop(job_id, None)
+                finish = (
+                    runtime.finish_time_s
+                    if runtime.finish_time_s is not None
+                    else self.clock_s
+                )
                 if self._tracer.enabled:
-                    finish = (
-                        runtime.finish_time_s
-                        if runtime.finish_time_s is not None
-                        else self.clock_s
-                    )
                     self._tracer.job_finish(
                         finish,
                         job_id,
                         jct_s=finish - runtime.job.submit_time_s,
                         epochs_done=runtime.epochs_done,
                     )
+                self._slo.finish(job_id, finish)
 
     # ------------------------------------------------------------------
     # Fault schedule (``repro.faults``).
@@ -630,6 +648,33 @@ class MinibatchEmulator:
         if not self._is_lru:
             self._apply_uniform_targets(running)
             self._admit_prefetched_items()
+        self.decision_rounds += 1
+        if tracer.enabled:
+            estimator = self.scheduler.estimator
+            emit_decision_provenance(
+                tracer,
+                self.clock_s,
+                self.decision_rounds,
+                "reschedule",
+                running,
+                len(queued),
+                self.total.gpus,
+                self.total.cache_mb,
+                self.total.remote_io_mbps,
+                dict(self._allocation.gpus),
+                self.cache_system.cache_key,
+                self._decision.cache_targets,
+                self._decision.hit_ratios,
+                self._decision.io_grants,
+                {
+                    job.job_id: estimator.compute_bound(
+                        job, self._allocation.gpus_of(job.job_id)
+                    )
+                    for job in running
+                },
+                self._effective_mb,
+                self.scheduler.last_scores,
+            )
 
     def _work_conserving_io_grants(self, running: Sequence[Job]) -> None:
         """Re-divide egress over *measured* demands for baseline systems.

@@ -23,8 +23,12 @@ _VERSION = 1
 
 
 def job_to_dict(job: Job) -> dict:
-    """A JSON-safe representation of one job."""
-    return {
+    """A JSON-safe representation of one job.
+
+    ``deadline_s`` is emitted only when the job declares one, so traces
+    without SLOs serialise byte-identically to the pre-SLO format.
+    """
+    data = {
         "v": _VERSION,
         "job_id": job.job_id,
         "model": job.model,
@@ -39,6 +43,9 @@ def job_to_dict(job: Job) -> dict:
         "submit_time_s": job.submit_time_s,
         "regular": job.regular,
     }
+    if job.deadline_s is not None:
+        data["deadline_s"] = job.deadline_s
+    return data
 
 
 def job_from_dict(data: dict, datasets: Dict[str, Dataset]) -> Job:
@@ -63,6 +70,11 @@ def job_from_dict(data: dict, datasets: Dict[str, Dataset]) -> Job:
         total_work_mb=float(data["total_work_mb"]),
         submit_time_s=float(data["submit_time_s"]),
         regular=bool(data["regular"]),
+        deadline_s=(
+            float(data["deadline_s"])
+            if data.get("deadline_s") is not None
+            else None
+        ),
     )
 
 

@@ -105,3 +105,12 @@ def test_progress_invariants_under_any_advances(steps):
             progress.work_to_epoch_boundary_mb
             <= progress.job.dataset.size_mb + 1e-6
         )
+
+
+def test_deadline_validation():
+    assert make_job().deadline_s is None
+    assert make_job(deadline_s=3600.0).deadline_s == 3600.0
+    with pytest.raises(ValueError):
+        make_job(deadline_s=0.0)
+    with pytest.raises(ValueError):
+        make_job(deadline_s=-5.0)

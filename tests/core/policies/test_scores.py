@@ -1,0 +1,58 @@
+"""Every policy publishes per-job scores for the provenance layer."""
+
+import pytest
+
+from repro.cluster.dataset import Dataset
+from repro.cluster.job import Job
+from repro.core.resources import ResourceVector
+from repro.core.silod import SiloDScheduler
+from repro.sim.runner import make_policy
+
+TOTAL = ResourceVector(gpus=8, cache_mb=4000.0, remote_io_mbps=200.0)
+
+POLICY_NAMES = (
+    "fifo",
+    "sjf",
+    "las",
+    "gavel",
+    "max-throughput",
+    "finish-time-fairness",
+)
+
+
+def _job(job_id, gpus=1, f_star=100.0):
+    return Job(
+        job_id=job_id,
+        model="m",
+        dataset=Dataset(f"d-{job_id}", 1000.0),
+        num_gpus=gpus,
+        ideal_throughput_mbps=f_star,
+        total_work_mb=2000.0,
+        regular=True,
+    )
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_policy_scores_cover_every_scheduled_job(name):
+    scheduler = SiloDScheduler(make_policy(name))
+    jobs = [_job("a"), _job("b", gpus=2), _job("c", f_star=50.0)]
+    scheduler.schedule(jobs, TOTAL)
+    assert set(scheduler.last_scores) >= {"a", "b", "c"}
+    assert all(
+        isinstance(v, float) for v in scheduler.last_scores.values()
+    )
+
+
+def test_fifo_scores_are_submission_ranks():
+    scheduler = SiloDScheduler(make_policy("fifo"))
+    scheduler.schedule([_job("a"), _job("b"), _job("c")], TOTAL)
+    scores = scheduler.last_scores
+    assert scores["a"] < scores["b"] < scores["c"]
+
+
+def test_scores_reset_per_schedule_call():
+    scheduler = SiloDScheduler(make_policy("fifo"))
+    scheduler.schedule([_job("a")], TOTAL)
+    scheduler.schedule([_job("b")], TOTAL)
+    assert "a" not in scheduler.last_scores
+    assert "b" in scheduler.last_scores

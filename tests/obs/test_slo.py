@@ -1,0 +1,168 @@
+"""SLO tracking: tracker state machine, simulator wiring, reporting."""
+
+import dataclasses
+
+import pytest
+
+from repro import units
+from repro.cluster.hardware import Cluster
+from repro.obs import NullTracer, Tracer
+from repro.obs import events as ev
+from repro.obs.report import render_slo_report, slo_attainment, slo_table
+from repro.obs.slo import WARN_FRACTION, SLOTracker
+from repro.sim.runner import run_experiment
+from repro.workloads.trace import TraceConfig, generate_trace
+
+pytestmark = pytest.mark.obs
+
+
+def _etypes(tracer):
+    return [e.etype for e in tracer.events]
+
+
+class TestTracker:
+    def test_no_deadline_no_tracking(self):
+        tracer = Tracer()
+        tracker = SLOTracker(tracer)
+        tracker.register("j1", 0.0, None)
+        assert len(tracker) == 0
+        tracker.check(1e9)
+        tracker.finish("j1", 1e9)
+        assert tracer.events == []
+
+    def test_warn_fires_once_at_threshold(self):
+        tracer = Tracer()
+        tracker = SLOTracker(tracer)
+        tracker.register("j1", 100.0, 100.0)
+        tracker.check(100.0 + WARN_FRACTION * 100.0 - 1.0)
+        assert tracer.events == []
+        tracker.check(100.0 + WARN_FRACTION * 100.0)
+        tracker.check(100.0 + WARN_FRACTION * 100.0 + 5.0)
+        assert _etypes(tracer) == [ev.SLO_WARN]
+        fields = tracer.events[0].fields
+        assert fields["deadline_s"] == 100.0
+        assert fields["ratio"] == pytest.approx(WARN_FRACTION)
+        assert fields["remaining_s"] == pytest.approx(20.0)
+
+    def test_violation_while_running_fires_once(self):
+        tracer = Tracer()
+        tracker = SLOTracker(tracer)
+        tracker.register("j1", 0.0, 50.0)
+        tracker.check(60.0)
+        tracker.check(70.0)
+        assert _etypes(tracer) == [ev.SLO_VIOLATION]
+        fields = tracer.events[0].fields
+        assert fields["state"] == "running"
+        assert fields["overrun_s"] == pytest.approx(10.0)
+        # Late finish after a running-state violation stays silent.
+        tracker.finish("j1", 80.0)
+        assert _etypes(tracer) == [ev.SLO_VIOLATION]
+
+    def test_late_finish_between_checkpoints_violates_as_finished(self):
+        tracer = Tracer()
+        tracker = SLOTracker(tracer)
+        tracker.register("j1", 0.0, 50.0)
+        tracker.check(30.0)  # inside the budget, below the warn line
+        tracker.finish("j1", 55.0)
+        assert _etypes(tracer) == [ev.SLO_VIOLATION]
+        fields = tracer.events[0].fields
+        assert fields["state"] == "finished"
+        assert fields["jct_s"] == pytest.approx(55.0)
+
+    def test_on_time_finish_is_silent(self):
+        tracer = Tracer()
+        tracker = SLOTracker(tracer)
+        tracker.register("j1", 0.0, 100.0)
+        tracker.check(50.0)
+        tracker.finish("j1", 70.0)
+        assert tracer.events == []
+        tracker.check(1e9)  # job settled: nothing further ever fires
+        assert tracer.events == []
+
+    def test_discard_silences_cancelled_jobs(self):
+        tracer = Tracer()
+        tracker = SLOTracker(tracer)
+        tracker.register("j1", 0.0, 10.0)
+        tracker.discard("j1")
+        tracker.check(1e9)
+        tracker.finish("j1", 1e9)
+        assert tracer.events == []
+
+    def test_null_tracer_never_emits(self):
+        tracker = SLOTracker(NullTracer())
+        tracker.register("j1", 0.0, 10.0)
+        tracker.check(1e9)
+        tracker.finish("j1", 1e9)  # must not raise
+
+
+def _run_with_deadlines(deadlines):
+    """A fluid run with ``deadlines[i]`` attached to job ``i``."""
+    cluster = Cluster.build(2, 4, units.gb(25), units.gbps(1.6))
+    jobs = list(
+        generate_trace(
+            TraceConfig(
+                num_jobs=max(4, len(deadlines)),
+                seed=11,
+                mean_interarrival_s=300.0,
+                duration_median_s=900.0,
+            )
+        )
+    )
+    for i, deadline in enumerate(deadlines):
+        if deadline is not None:
+            jobs[i] = dataclasses.replace(jobs[i], deadline_s=deadline)
+    tracer = Tracer()
+    run_experiment(cluster, "fifo", "silod", jobs, tracer=tracer)
+    return jobs, tracer.events
+
+
+def test_simulator_emits_violation_for_impossible_deadline():
+    jobs, events = _run_with_deadlines([1.0])
+    violations = [e for e in events if e.etype == ev.SLO_VIOLATION]
+    assert [e.job_id for e in violations] == [jobs[0].job_id]
+    assert violations[0].fields["deadline_s"] == 1.0
+    assert violations[0].fields["overrun_s"] > 0
+
+
+def test_simulator_stays_silent_for_generous_deadline():
+    _, events = _run_with_deadlines([1e9])
+    assert not any(
+        e.etype in (ev.SLO_WARN, ev.SLO_VIOLATION) for e in events
+    )
+
+
+def test_slo_table_and_attainment_with_injected_violation():
+    jobs, events = _run_with_deadlines([1.0, 1e9])
+    rows = slo_table(events)
+    assert [r["job"] for r in rows] == sorted(
+        [jobs[0].job_id, jobs[1].job_id]
+    )
+    by_job = {r["job"]: r for r in rows}
+    assert by_job[jobs[0].job_id]["status"] == "violated"
+    assert by_job[jobs[0].job_id]["margin_min"] < 0
+    assert by_job[jobs[1].job_id]["status"] == "met"
+    assert by_job[jobs[1].job_id]["margin_min"] > 0
+    summary = slo_attainment(events)
+    assert summary == {
+        "jobs_with_deadline": 2,
+        "met": 1,
+        "violated": 1,
+        "attainment": 0.5,
+    }
+
+
+def test_render_slo_report_headline_and_table():
+    _, events = _run_with_deadlines([1.0, 1e9])
+    text = render_slo_report(events)
+    assert text.startswith("SLO attainment: 1/2 (50.0%) met, 1 violated")
+    assert "deadline attainment" in text
+    assert "violated" in text and "met" in text
+
+
+def test_render_slo_report_without_deadlines():
+    _, events = _run_with_deadlines([])
+    assert render_slo_report(events) == (
+        "SLO attainment: no job declared a deadline_s"
+    )
+    assert slo_attainment(events) is None
+    assert slo_table(events) == []

@@ -49,6 +49,23 @@ def _emit_one_of_each(tracer):
     )
     tracer.node_up(4.8, kind="server", gpus_restored=8.0, cache_restored_mb=64.0)
     tracer.job_restart(4.8, "j1", reason="job_restart", epoch=1)
+    tracer.decision_epoch(
+        4.9, round=1, trigger="reschedule", num_running=1, num_queued=0,
+        gpus_total=8.0, cache_total_mb=64.0, io_total_mbps=100.0,
+    )
+    tracer.decision_job(
+        4.9, "j1", round=1, gpus=2.0, cache_mb=50.0, io_mbps=10.0,
+        f_star_mbps=20.0, hit_ratio=0.3, est_mbps=14.3, io_bound=True,
+        eff_cache_mb=30.0, score=0.0,
+    )
+    tracer.slo_warn(
+        4.9, "j1", deadline_s=6.0, elapsed_s=4.9, remaining_s=1.1,
+        ratio=0.8167,
+    )
+    tracer.slo_violation(
+        5.0, "j1", deadline_s=4.0, jct_s=5.0, overrun_s=1.0,
+        state="finished",
+    )
     tracer.job_finish(5.0, "j1", jct_s=5.0, epochs_done=1)
     tracer.service_start(
         0.0, policy="fifo", cache="silod", simulator="fluid",
@@ -125,7 +142,11 @@ def test_null_tracer_records_nothing():
     assert not tracer.enabled
     _emit_one_of_each(tracer)
     assert len(tracer) == 0
-    assert tracer.metrics.snapshot() == {"cluster": {"counters": {}, "gauges": {}}, "jobs": {}}
+    assert tracer.metrics.snapshot() == {
+        "schema_version": 2,
+        "cluster": {"counters": {}, "gauges": {}},
+        "jobs": {},
+    }
     assert not NULL_TRACER.enabled
 
 
@@ -142,7 +163,11 @@ def test_clear_resets_events_and_metrics():
     _emit_one_of_each(tracer)
     tracer.clear()
     assert len(tracer) == 0
-    assert tracer.metrics.snapshot() == {"cluster": {"counters": {}, "gauges": {}}, "jobs": {}}
+    assert tracer.metrics.snapshot() == {
+        "schema_version": 2,
+        "cluster": {"counters": {}, "gauges": {}},
+        "jobs": {},
+    }
 
 
 def test_event_fields_schema_has_no_envelope_collisions():

@@ -93,3 +93,41 @@ def test_backend_flag_is_recorded(tmp_path):
                         "--out-dir", str(tmp_path)]) == 0
     record = load_record(tmp_path / "BENCH_fluid_tiny.json")
     assert record.backend == "fallback"
+
+
+def test_serve_baseline_routes_to_serve_comparator(tmp_path, capsys):
+    from repro.serve.bench import (
+        SERVE_SCENARIOS,
+        run_serve_scenario,
+        write_serve_record,
+    )
+
+    # Record the catalogue spec itself: the CLI re-runs by scenario name
+    # and the comparator refuses identity drift.
+    record = run_serve_scenario(SERVE_SCENARIOS["serve_tiny"])
+    baseline = tmp_path / "BENCH_serve_tiny.json"
+    write_serve_record(record, baseline)
+
+    # A serve baseline re-runs its scenario and compares serve metrics —
+    # without dragging the batch suite in.
+    assert main(["--compare", str(baseline), "--threshold", "5.0",
+                 "--no-write"]) == 0
+    out = capsys.readouterr().out
+    assert "decision_latency_p99_ms" in out
+    assert "decisions_per_sec" in out
+    assert "fluid_tiny" not in out
+
+    # A fabricated impossibly fast baseline regresses the re-run.
+    raw = record.to_dict()
+    raw["decisions_per_sec"] = record.decisions_per_sec * 1000.0
+    fast = tmp_path / "fast.json"
+    fast.write_text(json.dumps(raw))
+    assert main(["--compare", str(fast), "--threshold", "0.25",
+                 "--no-write"]) == 2
+    assert "[REGRESSED]" in capsys.readouterr().out
+
+
+def test_unreadable_compare_baseline_exits_cleanly(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(SystemExit):
+        main(["--compare", str(missing), "--no-write"])

@@ -8,10 +8,21 @@ submissions without the pump racing them.
 
 from __future__ import annotations
 
+import socket
+import threading
+
+import pytest
+
 from repro import units
 from repro.cluster.hardware import Cluster
 from repro.obs import StreamingTracer
-from repro.serve import OnlineEngine, ServiceStack, VirtualClock
+from repro.serve import (
+    OnlineEngine,
+    ServeServer,
+    ServerThread,
+    ServiceStack,
+    VirtualClock,
+)
 
 
 def small_cluster(servers: int = 2, gpus_per_server: int = 4) -> Cluster:
@@ -61,3 +72,69 @@ def make_engine(
         tracer=StreamingTracer(),
         **sim_kwargs,
     )
+
+
+@pytest.fixture
+def live_server():
+    """A paused-engine server on an ephemeral port, torn down on exit."""
+    server = ServeServer(make_engine(queue_limit=8), port=0)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    try:
+        yield host, port, server
+    finally:
+        thread.stop(drain=False)
+        thread.join()
+
+
+@pytest.fixture
+def scripted_server():
+    """A real TCP server that plays back a fixed byte script and closes.
+
+    The returned function takes the raw bytes to play to *every*
+    accepted connection (hello line included — the tail CLI opens one
+    control connection plus one subscriber connection) and returns
+    ``(host, port)``. Used to exercise client-side behaviour on abrupt
+    stream endings that a healthy ``ServeServer`` never produces
+    (truncated lines, mid-stream resets).
+    """
+    sockets = []
+    threads = []
+
+    def start(script: bytes):
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(10.0)
+        sockets.append(listener)
+
+        def serve_one(conn):
+            with conn:
+                conn.sendall(script)
+                # Read whatever the client sends (subscribe request)
+                # so the close is orderly from our side.
+                conn.settimeout(5.0)
+                try:
+                    conn.recv(65536)
+                except OSError:
+                    pass
+
+        def accept_loop():
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return  # listener closed by teardown
+                worker = threading.Thread(
+                    target=serve_one, args=(conn,), daemon=True
+                )
+                worker.start()
+                threads.append(worker)
+
+        acceptor = threading.Thread(target=accept_loop, daemon=True)
+        acceptor.start()
+        return listener.getsockname()
+
+    yield start
+    for listener in sockets:
+        listener.close()
+    for thread in threads:
+        thread.join(timeout=5.0)

@@ -84,3 +84,99 @@ def test_loader_rejects_schema_and_field_drift(tmp_path):
     bad_field.write_text(json.dumps(data))
     with pytest.raises(ValueError):
         load_serve_record(bad_field)
+
+
+def test_record_carries_decision_latency_p99():
+    record = run_serve_scenario(
+        dataclasses.replace(CI_SPEC, num_jobs=4, arrival_rate_per_s=4000.0)
+    )
+    assert record.decision_latency_p99_ms > 0.0
+    assert "decision p99" in render_serve_record(record)
+    assert "decision_latency_p99_ms" in SERVE_BENCH_FIELDS
+    assert SERVE_BENCH_SCHEMA_VERSION == 2
+
+
+class TestCompareServeRecords:
+    def _record(self, **overrides):
+        from repro.serve.bench import ServeBenchRecord
+
+        base = dict(
+            schema_version=SERVE_BENCH_SCHEMA_VERSION,
+            created_utc="2026-01-01T00:00:00Z",
+            scenario="serve_ci",
+            simulator="fluid",
+            policy="fifo",
+            cache="silod",
+            num_jobs=24,
+            num_gpus=16,
+            arrival_rate_per_s=2000.0,
+            wall_time_s=1.0,
+            decisions_total=100,
+            decisions_per_sec=100.0,
+            jobs_submitted=24,
+            jobs_finished=24,
+            admit_to_place_p50_ms=2.0,
+            admit_to_place_p99_ms=8.0,
+            decision_latency_p99_ms=4.0,
+            host={"platform": "test"},
+        )
+        base.update(overrides)
+        return ServeBenchRecord(**base)
+
+    def test_identical_records_have_no_failures(self):
+        from repro.perf.record import has_failures
+        from repro.serve.bench import compare_serve_records
+
+        deltas = compare_serve_records(
+            self._record(), self._record(), threshold=0.1
+        )
+        assert deltas and not has_failures(deltas)
+        assert {d.metric for d in deltas} >= {
+            "decisions_per_sec",
+            "decision_latency_p99_ms",
+            "wall_time_s",
+        }
+
+    def test_throughput_drop_and_latency_rise_regress(self):
+        from repro.perf.record import has_failures
+        from repro.serve.bench import compare_serve_records
+
+        slower = self._record(
+            decisions_per_sec=50.0, decision_latency_p99_ms=8.0
+        )
+        deltas = compare_serve_records(
+            slower, self._record(), threshold=0.1
+        )
+        assert has_failures(deltas)
+        regressed = {d.metric for d in deltas if d.regressed}
+        assert "decisions_per_sec" in regressed
+        assert "decision_latency_p99_ms" in regressed
+
+    def test_anchor_drift_flags_but_never_regresses(self):
+        from repro.perf.record import has_failures
+        from repro.serve.bench import compare_serve_records
+
+        drifted = self._record(jobs_finished=23)
+        deltas = compare_serve_records(
+            drifted, self._record(), threshold=0.1
+        )
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["jobs_finished"].drift
+        assert not by_name["jobs_finished"].regressed
+        # Drift alone is enough to fail a --compare run.
+        assert has_failures(deltas)
+
+    def test_identity_mismatch_raises(self):
+        from repro.serve.bench import compare_serve_records
+
+        other = self._record(scenario="serve_tiny")
+        with pytest.raises(ValueError, match="scenario"):
+            compare_serve_records(other, self._record(), threshold=0.1)
+
+    def test_negative_threshold_rejected(self):
+        from repro.serve.bench import compare_serve_records
+
+        with pytest.raises(ValueError):
+            compare_serve_records(
+                self._record(), self._record(), threshold=-0.1
+            )

@@ -7,12 +7,15 @@ same jobs produces event anchors bit-identical to the batch run —
 carries service-lifecycle events (those are not anchors).
 """
 
+import dataclasses
+
 import pytest
 
 from repro import units
 from repro.analysis.fidelity import localize_divergence
 from repro.faults.spec import FaultSchedule
 from repro.obs import Tracer
+from repro.obs.prov import render_explain
 from repro.sim.runner import run_experiment
 from repro.workloads.trace import TraceConfig, generate_trace
 from repro.workloads.trace_io import job_to_dict
@@ -124,3 +127,78 @@ def test_same_submissions_twice_produce_identical_event_logs():
         ]
 
     assert run_once() == run_once()
+
+
+# ----------------------------------------------------------------------
+# Provenance and SLO equivalence (acceptance: `explain` output is
+# bit-identical whether the events came from a batch run or the service).
+# ----------------------------------------------------------------------
+
+_PROVENANCE_TYPES = ("decision_epoch", "decision_job")
+_SLO_TYPES = ("slo_warn", "slo_violation")
+
+
+def _with_deadlines(jobs):
+    """The equivalence trace with one impossible and one loose deadline."""
+    jobs = sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id))
+    jobs[0] = dataclasses.replace(jobs[0], deadline_s=1.0)
+    jobs[1] = dataclasses.replace(jobs[1], deadline_s=1e9)
+    return jobs
+
+
+def _batch_events_with_deadlines(simulator):
+    tracer = Tracer()
+    run_experiment(
+        small_cluster(),
+        "fifo",
+        "silod",
+        _with_deadlines(generate_trace(TRACE)),
+        simulator=simulator,
+        tracer=tracer,
+    )
+    return tracer.events
+
+
+def _online_events_with_deadlines(simulator):
+    engine = make_engine(simulator=simulator)
+    engine.start()
+    for job in reversed(_with_deadlines(generate_trace(TRACE))):
+        engine.submit(job_to_dict(job))
+    engine.drain()
+    return engine.tracer.events
+
+
+def _subsequence(events, etypes):
+    return [
+        (round(e.ts_s, 9), e.etype, e.job_id, e.fields)
+        for e in events
+        if e.etype in etypes
+    ]
+
+
+@pytest.mark.parametrize("simulator", ["fluid", "minibatch"])
+def test_provenance_stream_is_bit_identical_batch_vs_online(simulator):
+    batch = _batch_events_with_deadlines(simulator)
+    online = _online_events_with_deadlines(simulator)
+    assert _subsequence(batch, _PROVENANCE_TYPES) == _subsequence(
+        online, _PROVENANCE_TYPES
+    )
+    assert len(_subsequence(batch, _PROVENANCE_TYPES)) > 0
+
+
+def test_slo_stream_is_bit_identical_batch_vs_online():
+    batch = _batch_events_with_deadlines("fluid")
+    online = _online_events_with_deadlines("fluid")
+    assert _subsequence(batch, _SLO_TYPES) == _subsequence(
+        online, _SLO_TYPES
+    )
+    assert any(e.etype == "slo_violation" for e in batch)
+
+
+def test_explain_renders_identically_batch_vs_online():
+    batch = _batch_events_with_deadlines("fluid")
+    online = _online_events_with_deadlines("fluid")
+    for job in _with_deadlines(generate_trace(TRACE)):
+        assert render_explain(batch, job.job_id) == render_explain(
+            online, job.job_id
+        )

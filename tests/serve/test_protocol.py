@@ -96,3 +96,28 @@ def test_encode_response_is_one_json_line():
     assert encoded.endswith(b"\n")
     assert encoded.count(b"\n") == 1
     assert json.loads(encoded) == {"ok": True, "job_id": "j1"}
+
+
+@pytest.mark.parametrize("bad", ["tomorrow", -1.0, 0, True, []])
+def test_submit_rejects_malformed_deadline(bad):
+    from .conftest import job_payload
+
+    job = {**job_payload("j1"), "deadline_s": bad}
+    with pytest.raises(ProtocolError) as err:
+        validate_request(parse_request(_line({"op": "submit", "job": job})))
+    assert err.value.reason == REJECT_INVALID
+    assert "deadline_s" in err.value.detail
+
+
+def test_submit_accepts_valid_or_absent_deadline():
+    from .conftest import job_payload
+
+    with_deadline = {**job_payload("j1"), "deadline_s": 3600.0}
+    op, payload = validate_request(
+        parse_request(_line({"op": "submit", "job": with_deadline}))
+    )
+    assert op == "submit" and payload["job"]["deadline_s"] == 3600.0
+    op, payload = validate_request(
+        parse_request(_line({"op": "submit", "job": job_payload("j2")}))
+    )
+    assert op == "submit" and "deadline_s" not in payload["job"]

@@ -13,19 +13,6 @@ from .conftest import job_payload, make_engine
 pytestmark = pytest.mark.serve
 
 
-@pytest.fixture
-def live_server():
-    """A paused-engine server on an ephemeral port, torn down on exit."""
-    server = ServeServer(make_engine(queue_limit=8), port=0)
-    thread = ServerThread(server)
-    host, port = thread.start()
-    try:
-        yield host, port, server
-    finally:
-        thread.stop(drain=False)
-        thread.join()
-
-
 def test_round_trip_under_paused_clock(live_server):
     host, port, _ = live_server
     with ServeClient(host=host, port=port) as client:
@@ -124,7 +111,10 @@ def test_http_endpoints_answer_when_enabled():
         with urllib.request.urlopen(f"{base}/status", timeout=10) as rsp:
             assert json.loads(rsp.read())["paused"] is True
         with urllib.request.urlopen(f"{base}/metrics", timeout=10) as rsp:
-            assert "serve" in json.loads(rsp.read())
+            assert rsp.headers["Content-Type"].startswith("text/plain")
+            body = rsp.read().decode("utf-8")
+            assert "# TYPE repro_serve_decisions_total counter" in body
+            assert "repro_serve_queue_depth" in body
     finally:
         thread.stop(drain=False)
         thread.join()

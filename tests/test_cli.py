@@ -177,3 +177,61 @@ def test_report_rejects_non_event_files(tmp_path):
     bogus.write_text('{"kind": "not-events"}\n')
     with pytest.raises(ValueError):
         main(["report", str(bogus)])
+
+
+def _run_with_deadline(tmp_path):
+    """A tiny CLI run whose first job carries an impossible deadline."""
+    import json
+
+    trace_path = tmp_path / "t.jsonl"
+    events_path = tmp_path / "ev.jsonl"
+    main(["trace", str(trace_path), "--jobs", "4", "--seed", "11",
+          "--gpus", "8", "--duration-median-min", "20"])
+    lines = trace_path.read_text().splitlines()
+    doomed = json.loads(lines[0])
+    doomed["deadline_s"] = 1.0
+    lines[0] = json.dumps(doomed)
+    trace_path.write_text("\n".join(lines) + "\n")
+    code = main([
+        "run", str(trace_path), "--gpus", "8", "--egress-gbps", "1.6",
+        "--cache-per-gpu-gb", "64", "--events", str(events_path),
+    ])
+    assert code == 0
+    return doomed["job_id"], events_path
+
+
+def test_explain_command_reconstructs_a_job(tmp_path, capsys):
+    job_id, events_path = _run_with_deadline(tmp_path)
+    capsys.readouterr()
+    code = main(["explain", str(events_path), job_id])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith(f"job {job_id}:")
+    assert "Eq.4" in out and "round " in out
+    assert "deadline 1s" in out
+
+
+def test_explain_unknown_job_lists_known_ids(tmp_path, capsys):
+    _, events_path = _run_with_deadline(tmp_path)
+    capsys.readouterr()
+    code = main(["explain", str(events_path), "job-9999"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "no decision records" in captured.out
+    assert "job-0000" in captured.err
+
+
+def test_report_slo_section(tmp_path, capsys):
+    _, events_path = _run_with_deadline(tmp_path)
+    capsys.readouterr()
+    code = main(["report", str(events_path), "--slo", "--bins", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SLO attainment: 0/1 (0.0%) met, 1 violated" in out
+
+
+def test_report_without_slo_flag_omits_the_section(tmp_path, capsys):
+    _, events_path = _run_with_deadline(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(events_path), "--bins", "4"]) == 0
+    assert "SLO attainment" not in capsys.readouterr().out

@@ -75,3 +75,23 @@ def test_trace_summary():
     assert summary["median_ideal_duration_min"] > 0
     assert abs(sum(summary["gpu_mix"].values()) - 1.0) < 1e-9
     assert trace_summary([]) == {"num_jobs": 0}
+
+
+def test_deadline_round_trips_only_when_declared(tmp_path):
+    import dataclasses
+
+    jobs = list(generate_trace(TraceConfig(num_jobs=3, seed=5)))
+    jobs[0] = dataclasses.replace(jobs[0], deadline_s=1800.0)
+    # Jobs without a deadline serialize without the key at all, so
+    # SLO-free traces are byte-identical to pre-deadline ones.
+    assert "deadline_s" in job_to_dict(jobs[0])
+    assert "deadline_s" not in job_to_dict(jobs[1])
+    path = tmp_path / "trace.jsonl"
+    save_trace(jobs, path)
+    restored = load_trace(path)
+    assert restored[0].deadline_s == 1800.0
+    assert restored[1].deadline_s is None
+    explicit_null = job_from_dict(
+        {**job_to_dict(jobs[0]), "deadline_s": None}, {}
+    )
+    assert explicit_null.deadline_s is None

@@ -123,6 +123,18 @@ def check_faults_doc(
     return problems
 
 
+def check_windows_doc(text: str, window_names: list) -> list:
+    """Drift messages for the sliding-window table vs WINDOW_NAMES."""
+    problems = []
+    for name in window_names:
+        if f"`{name}`" not in text:
+            problems.append(
+                f"window {name!r} is in repro.obs.windows.WINDOW_NAMES "
+                f"but never mentioned in docs/OBSERVABILITY.md"
+            )
+    return problems
+
+
 def check_perf_doc(text: str, bench_fields: list) -> list:
     """Drift messages for docs/PERFORMANCE.md vs the bench schema."""
     documented = parse_doc_schema(text).get("bench_record")
@@ -178,6 +190,18 @@ def check_serve_doc(
                 f"reject reason {reason!r} is never mentioned in "
                 f"docs/SERVE.md"
             )
+    # The scrape endpoint and the SLO submit field are part of the
+    # operator contract — keep them documented.
+    if "Prometheus" not in text:
+        problems.append(
+            "docs/SERVE.md never mentions the Prometheus /metrics "
+            "exposition (repro.obs.prom)"
+        )
+    if "`deadline_s`" not in text:
+        problems.append(
+            "docs/SERVE.md never mentions the submit job field "
+            "'deadline_s' (SLO tracking)"
+        )
     documented = parse_doc_schema(text).get("serve_bench_record")
     if documented is None:
         problems.append(
@@ -204,13 +228,16 @@ def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.faults.spec import FAULT_KINDS
     from repro.obs.events import EVENT_FIELDS, FAULT_TYPES, SERVICE_TYPES
+    from repro.obs.windows import WINDOW_NAMES
     from repro.perf.record import BENCH_FIELDS
     from repro.serve.bench import SERVE_BENCH_FIELDS
     from repro.serve.protocol import OPS, REJECT_REASONS
 
-    doc_schema = parse_doc_schema(DOC_PATH.read_text())
+    obs_text = DOC_PATH.read_text()
+    doc_schema = parse_doc_schema(obs_text)
     code_fields = {k: list(v) for k, v in EVENT_FIELDS.items()}
     problems = compare(doc_schema, code_fields)
+    problems.extend(check_windows_doc(obs_text, list(WINDOW_NAMES)))
     if not FAULTS_DOC_PATH.exists():
         problems.append("docs/FAULTS.md is missing")
     else:
@@ -245,7 +272,8 @@ def main() -> int:
         return 1
     print(
         f"docs/OBSERVABILITY.md in sync: {len(code_fields)} event types, "
-        f"{sum(len(v) for v in code_fields.values())} fields; "
+        f"{sum(len(v) for v in code_fields.values())} fields, "
+        f"{len(WINDOW_NAMES)} windows; "
         f"docs/FAULTS.md in sync: {len(FAULT_KINDS)} fault kinds; "
         f"docs/PERFORMANCE.md in sync: {len(BENCH_FIELDS)} bench fields; "
         f"docs/SERVE.md in sync: {len(OPS)} ops, "

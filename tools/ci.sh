@@ -12,13 +12,20 @@
 #      `python -m repro serve` as a subprocess, drives three jobs
 #      through the socket, and requires a drained, clean exit within a
 #      hard timeout (see docs/SERVE.md).
-#   5. perf smoke              — `repro bench --compare` of the tiny
+#   5. obs smoke               — tools/obs_smoke.py drives a tiny traced
+#      scenario through `repro run --events`, then asserts
+#      `repro explain` reconstructs a nonzero decision-provenance chain
+#      and `repro report --slo` reports the injected deadline
+#      violations (see docs/OBSERVABILITY.md).
+#   6. perf smoke              — `repro bench --compare` of the tiny
 #      fluid scenario against the checked-in fallback-backend baseline
 #      (benchmarks/baselines/BENCH_fluid_tiny.json). Result anchors
 #      must match bit-for-bit ([DRIFT] fails: the simulation changed);
 #      the timing threshold is deliberately generous (3x) because CI
 #      machines vary — this stage catches drift and order-of-magnitude
-#      slowdowns, not noise. See docs/PERFORMANCE.md.
+#      slowdowns, not noise. See docs/PERFORMANCE.md. Serve baselines
+#      (BENCH_serve_*.json, including decision_latency_p99_ms) gate the
+#      same way when passed to --compare.
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -37,6 +44,9 @@ python -m pytest -x -q "$@"
 
 echo "== serve smoke (tools/serve_smoke.py) =="
 python tools/serve_smoke.py
+
+echo "== obs smoke (tools/obs_smoke.py) =="
+python tools/obs_smoke.py
 
 echo "== perf smoke (bench --compare) =="
 python -m repro bench --backend fallback --no-write --threshold 3.0 \

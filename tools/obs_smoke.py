@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke test for the observability CLI surface.
+
+Drives a tiny traced scenario end to end through the real CLI:
+``repro trace`` generates a handful of jobs (two get a deliberately
+impossible ``deadline_s`` so the run contains SLO violations),
+``repro run --events`` records the event log, and then the two
+consumers are exercised — ``repro explain`` must reconstruct a nonzero
+decision-provenance chain for a job, and ``repro report --slo`` must
+render the attainment table with the injected violations. Everything is
+asserted on the commands' actual stdout, so a regression anywhere in
+the emit → export → render pipeline fails CI.
+
+Usage: PYTHONPATH=src python tools/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TIMEOUT_S = 120.0
+
+#: Jobs whose deadline is set far below any achievable JCT.
+DOOMED_JOBS = 2
+IMPOSSIBLE_DEADLINE_S = 1.0
+
+
+def _run(args: list, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+        **kwargs,
+    )
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-obs-smoke-"))
+    trace = tmp / "trace.jsonl"
+    events = tmp / "events.jsonl"
+
+    result = _run(
+        ["trace", str(trace), "--jobs", "10", "--seed", "7", "--gpus", "8"]
+    )
+    if result.returncode != 0:
+        print(result.stderr, file=sys.stderr)
+        print("FAIL: trace generation failed", file=sys.stderr)
+        return 1
+
+    # Give the first jobs an impossible deadline so the run must
+    # contain slo_violation events.
+    lines = trace.read_text().splitlines()
+    doomed = 0
+    rewritten = []
+    for line in lines:
+        obj = json.loads(line)
+        if obj.get("kind") != "repro-trace" and doomed < DOOMED_JOBS:
+            obj["deadline_s"] = IMPOSSIBLE_DEADLINE_S
+            doomed += 1
+        rewritten.append(json.dumps(obj))
+    trace.write_text("\n".join(rewritten) + "\n")
+
+    result = _run(
+        ["run", str(trace), "--gpus", "8", "--events", str(events),
+         "--reschedule-s", "600"]
+    )
+    if result.returncode != 0:
+        print(result.stderr, file=sys.stderr)
+        print("FAIL: traced run failed", file=sys.stderr)
+        return 1
+
+    job_id = None
+    decision_jobs = 0
+    violations = 0
+    for line in events.read_text().splitlines():
+        obj = json.loads(line)
+        if obj.get("etype") == "job_submit" and job_id is None:
+            job_id = obj["job_id"]
+        elif obj.get("etype") == "decision_job":
+            decision_jobs += 1
+        elif obj.get("etype") == "slo_violation":
+            violations += 1
+    if job_id is None:
+        print("FAIL: event log has no job_submit", file=sys.stderr)
+        return 1
+    if decision_jobs == 0:
+        print("FAIL: event log has no decision_job records",
+              file=sys.stderr)
+        return 1
+    if violations < DOOMED_JOBS:
+        print(
+            f"FAIL: expected >= {DOOMED_JOBS} slo_violation events, "
+            f"got {violations}",
+            file=sys.stderr,
+        )
+        return 1
+
+    result = _run(["explain", str(events), job_id])
+    if result.returncode != 0:
+        print(result.stderr, file=sys.stderr)
+        print("FAIL: repro explain failed", file=sys.stderr)
+        return 1
+    rounds = len(re.findall(r"^round \d+ @", result.stdout, re.MULTILINE))
+    if rounds == 0 or "Eq.4" not in result.stdout:
+        print(result.stdout)
+        print(
+            f"FAIL: explain rendered no decision rounds for {job_id}",
+            file=sys.stderr,
+        )
+        return 1
+
+    result = _run(["report", str(events), "--slo"])
+    if result.returncode != 0:
+        print(result.stderr, file=sys.stderr)
+        print("FAIL: repro report --slo failed", file=sys.stderr)
+        return 1
+    match = re.search(
+        r"SLO attainment: \d+/(\d+) .* (\d+) violated", result.stdout
+    )
+    if not match or int(match.group(2)) < DOOMED_JOBS:
+        print(result.stdout)
+        print("FAIL: report --slo missing the injected violations",
+              file=sys.stderr)
+        return 1
+
+    print(
+        f"obs smoke: {decision_jobs} decision records, {rounds} explain "
+        f"rounds for {job_id}, {violations} SLO violations reported"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
