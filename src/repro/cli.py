@@ -40,7 +40,7 @@ from typing import List, Optional
 
 from repro import units
 from repro.analysis.tables import render_table
-from repro.cluster.hardware import Cluster
+from repro.cluster.hardware import Cluster, parse_gpu_mix
 from repro.core import perf_model
 from repro.faults import FaultSchedule, generate_churn
 from repro.lint.cli import configure_parser as configure_lint_parser
@@ -87,15 +87,33 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
         default=8.0,
         help="remote-IO egress limit in Gbps (default 8.0)",
     )
+    parser.add_argument(
+        "--gpu-mix",
+        default=None,
+        metavar="GEN:N[,GEN:N...]",
+        help="heterogeneous fleet as servers per GPU generation, e.g. "
+        "'V100:20,A100:5' (default: none — a homogeneous V100 fleet "
+        "sized by --gpus; with --gpu-mix, --gpus is ignored and the "
+        "mix fixes the server counts)",
+    )
 
 
 def _build_cluster(args: argparse.Namespace) -> Cluster:
+    cache_per_server_mb = args.gpus_per_server * units.gb(
+        args.cache_per_gpu_gb
+    )
+    if getattr(args, "gpu_mix", None):
+        return Cluster.build_mixed(
+            parse_gpu_mix(args.gpu_mix),
+            gpus_per_server=args.gpus_per_server,
+            cache_per_server_mb=cache_per_server_mb,
+            remote_io_mbps=units.gbps(args.egress_gbps),
+        )
     servers = max(1, args.gpus // args.gpus_per_server)
     return Cluster.build(
         num_servers=servers,
         gpus_per_server=args.gpus_per_server,
-        cache_per_server_mb=args.gpus_per_server
-        * units.gb(args.cache_per_gpu_gb),
+        cache_per_server_mb=cache_per_server_mb,
         remote_io_mbps=units.gbps(args.egress_gbps),
     )
 

@@ -62,6 +62,11 @@ class GpuPlacer:
         self._free: Dict[int, int] = {
             server.server_id: server.num_gpus for server in cluster.servers
         }
+        #: server id -> GPU generation name, for generation-pinned
+        #: placement on mixed fleets.
+        self._generation: Dict[int, str] = {
+            server.server_id: server.gpu.name for server in cluster.servers
+        }
         self._placements: Dict[str, JobPlacement] = {}
 
     @property
@@ -69,24 +74,47 @@ class GpuPlacer:
         """GPUs not assigned to any job."""
         return sum(self._free.values())
 
+    def free_gpus_of(self, generation: str) -> int:
+        """Unassigned GPUs on servers of one generation."""
+        return sum(
+            free
+            for server_id, free in self._free.items()
+            if self._generation[server_id] == generation
+        )
+
     def placement_of(self, job_id: str) -> Optional[JobPlacement]:
         """The placement of a job, if placed."""
         return self._placements.get(job_id)
 
-    def place(self, job: Job) -> JobPlacement:
-        """Place a job; raises :class:`PlacementError` if it cannot fit."""
+    def place(
+        self, job: Job, generation: Optional[str] = None
+    ) -> JobPlacement:
+        """Place a job; raises :class:`PlacementError` if it cannot fit.
+
+        With ``generation`` set, only servers of that GPU generation are
+        considered — the placement-level counterpart of the scheduler's
+        per-pool allocation, so a job assigned to (say) the A100 pool
+        never lands on V100 hardware.
+        """
         if job.job_id in self._placements:
             raise PlacementError(f"job {job.job_id} is already placed")
-        if job.num_gpus > self.free_gpus:
+        eligible = {
+            server_id: free
+            for server_id, free in self._free.items()
+            if generation is None
+            or self._generation[server_id] == generation
+        }
+        if job.num_gpus > sum(eligible.values()):
+            pool = f" on {generation}" if generation is not None else ""
             raise PlacementError(
-                f"job {job.job_id} needs {job.num_gpus} GPUs; "
-                f"{self.free_gpus} free"
+                f"job {job.job_id} needs {job.num_gpus} GPUs{pool}; "
+                f"{sum(eligible.values())} free"
             )
         # Best fit: the server with the least free GPUs that still holds
         # the whole job.
         whole = [
             (free, server_id)
-            for server_id, free in self._free.items()
+            for server_id, free in eligible.items()
             if free >= job.num_gpus
         ]
         assignment: Dict[int, int] = {}
@@ -97,7 +125,7 @@ class GpuPlacer:
             # Spill across servers, fullest-first to keep spans short.
             needed = job.num_gpus
             for server_id, free in sorted(
-                self._free.items(), key=lambda kv: -kv[1]
+                eligible.items(), key=lambda kv: -kv[1]
             ):
                 if needed <= 0:
                     break

@@ -59,6 +59,11 @@ class SiloDPerfEstimator:
     ) -> None:
         self._compute_estimator = compute_estimator
 
+    @property
+    def compute_estimator(self) -> ComputeEstimator:
+        """The wrapped compute-only estimator ``perf(j, R)``."""
+        return self._compute_estimator
+
     def compute_bound(self, job: Job, gpus: float) -> float:
         """The original compute-only estimate ``perf(j, R)``."""
         return self._compute_estimator(job, gpus)
@@ -151,6 +156,76 @@ class SiloDPerfEstimator:
         return job.total_work_mb / throughput
 
 
+class HetSiloDPerfEstimator(SiloDPerfEstimator):
+    """Generation-aware SiloDPerf: ``min(f*(j, gen(j)), IOPerf)``.
+
+    Wraps the base compute estimator with a per-generation speedup
+    factor (``repro.core.perf_model.default_speedup_table``): a job
+    assigned to generation *g* has its compute bound scaled by
+    ``speedups[g]``. Assignments live in the mutable :attr:`assignments`
+    map (job_id -> generation name); unassigned jobs run at the
+    ``default_generation``, whose factor is exactly 1.0 when the table
+    is anchored there — so a fleet with no assignments (or a
+    single-generation fleet) produces bit-identical numbers to the
+    plain :class:`SiloDPerfEstimator`.
+
+    Because the wrapped compute estimator is not the module-level
+    ``linear_compute_estimator`` object, :meth:`compute_bound_batch`
+    always takes the scalar loop — heterogeneous estimates are
+    backend-identical by construction (``REPRO_NO_NUMPY=1`` changes
+    nothing).
+    """
+
+    def __init__(
+        self,
+        speedups: dict,
+        default_generation: str = "V100",
+        base_estimator: ComputeEstimator = linear_compute_estimator,
+    ) -> None:
+        if default_generation not in speedups:
+            raise ValueError(
+                f"default generation {default_generation!r} missing "
+                f"from the speedup table"
+            )
+        self.speedups = dict(speedups)
+        self.default_generation = default_generation
+        #: job_id -> generation name; written by heterogeneity-aware
+        #: policies each round, cleared by the scheduler between rounds.
+        self.assignments: dict = {}
+        self._base_estimator = base_estimator
+        super().__init__(compute_estimator=self._het_compute)
+
+    def _het_compute(self, job: Job, gpus: float) -> float:
+        return self._base_estimator(job, gpus) * self.speedup_of(
+            job.job_id
+        )
+
+    def speedup_of(self, job_id: str) -> float:
+        """The speedup factor of the job's assigned generation."""
+        generation = self.assignments.get(
+            job_id, self.default_generation
+        )
+        return self.speedups[generation]
+
+    def generation_of(self, job_id: str) -> str:
+        """The job's assigned generation (default when unassigned)."""
+        return self.assignments.get(job_id, self.default_generation)
+
+    def f_star_by_generation(self, job: Job) -> dict:
+        """``{generation: f*(job, generation)}`` at the full request.
+
+        Keys iterate in speedup order (slowest first) so the dict is
+        deterministic regardless of table insertion order.
+        """
+        base = self._base_estimator(job, job.num_gpus)
+        return {
+            gen: base * factor
+            for gen, factor in sorted(
+                self.speedups.items(), key=lambda kv: (kv[1], kv[0])
+            )
+        }
+
+
 class ThroughputMatrix:
     """Job × GPU-generation compute-bound throughput matrix.
 
@@ -159,7 +234,12 @@ class ThroughputMatrix:
     would demand. Row *i*, column *k* is job *i*'s compute-bound data
     rate (``f*`` at its requested GPU count) scaled by generation *k*'s
     fp32 TFLOPS relative to the ``reference`` generation the jobs were
-    profiled on (the paper profiles on V100, Table 2).
+    profiled on (the paper profiles on V100, Table 2). These are the
+    Figure 1 *plotted* TFLOPS (H100: with sparsity) — deliberate for
+    capacity planning, which sizes against the headline trend; runtime
+    scheduling instead uses the measured/dense-anchored
+    ``perf_model.default_speedup_table`` via
+    :class:`HetSiloDPerfEstimator`.
 
     The matrix is one outer product on the vectorized backend and a
     nested loop under ``REPRO_NO_NUMPY=1``; both produce bit-identical

@@ -66,6 +66,25 @@ class ScheduleContext:
     #: provenance layer (``repro.obs.prov``) carries it into the
     #: ``decision_job`` events.
     job_scores: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: GPU pools by generation name (generation -> GPU count) on a
+    #: mixed fleet; ``None`` on homogeneous clusters. Heterogeneity-
+    #: aware policies treat each pool as a separate GPU capacity
+    #: constraint when placing jobs on generations.
+    gpu_pools: Optional[Dict[str, int]] = None
+    #: Out-parameter: per-generation compute bounds the policy weighed
+    #: this round (job_id -> {generation: f* MB/s}). Heterogeneity-
+    #: aware policies must publish it (lint rule POL004); it reaches
+    #: the ``decision_job`` provenance as ``f_star_gen_mbps``.
+    gen_scores: Dict[str, Dict[str, float]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Out-parameter: the generation each job was assigned to this
+    #: round (job_id -> generation name). Filled by heterogeneity-aware
+    #: policies; the scheduler completes it with a deterministic
+    #: default assignment for generation-naive policies.
+    gen_assignments: Dict[str, str] = dataclasses.field(
+        default_factory=dict
+    )
 
     def effective_hits_mb(self, job: Job, allocated_cache_mb: float) -> float:
         """Bytes of cache a job can hit *right now* under an allocation."""

@@ -19,7 +19,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import units
 from repro.cluster.job import Job
-from repro.core.estimator import SiloDPerfEstimator
+from repro.core import perf_model
+from repro.core.estimator import (
+    HetSiloDPerfEstimator,
+    SiloDPerfEstimator,
+)
 from repro.core.policies.base import ScheduleContext, SchedulingPolicy
 from repro.core.resources import Allocation, ResourceVector
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -62,6 +66,48 @@ class SiloDScheduler:
         #: stamp ``decision_job`` provenance events; empty before the
         #: first round.
         self.last_scores: Dict[str, float] = {}
+        #: Reference GPU generation: the one jobs are profiled on
+        #: (speedup factor exactly 1.0). Updated by
+        #: :meth:`enable_heterogeneity` from the cluster.
+        self.default_generation: str = "V100"
+        #: Generation -> GPU count on a mixed fleet; ``None`` while the
+        #: cluster is homogeneous (the pre-heterogeneity behaviour).
+        self.gpu_pools: Optional[Dict[str, int]] = None
+        #: job_id -> assigned generation from the last round. Every
+        #: running job has an entry (generation-naive policies get a
+        #: deterministic default placement); read by the simulators for
+        #: ``decision_job`` provenance.
+        self.last_generations: Dict[str, str] = {}
+        #: job_id -> {generation: f* MB/s} from the last round —
+        #: the per-generation compute bounds the policy weighed.
+        self.last_gen_scores: Dict[str, Dict[str, float]] = {}
+
+    def enable_heterogeneity(self, cluster) -> None:
+        """Adopt the cluster's generation mix (called by the simulators).
+
+        Homogeneous clusters only update :attr:`default_generation` —
+        numerics are untouched, so pre-heterogeneity runs stay
+        bit-identical. Mixed fleets install a
+        :class:`HetSiloDPerfEstimator` anchored at the cluster's
+        reference generation and expose per-generation GPU pools to
+        the policy.
+        """
+        gpu = getattr(cluster, "gpu", None)
+        if gpu is not None:
+            self.default_generation = gpu.name
+        pools = getattr(cluster, "gpus_by_generation", None)
+        if not pools or len(pools) <= 1:
+            self.gpu_pools = None
+            return
+        self.gpu_pools = dict(pools)
+        if not isinstance(self.estimator, HetSiloDPerfEstimator):
+            self.estimator = HetSiloDPerfEstimator(
+                speedups=perf_model.default_speedup_table(
+                    reference=self.default_generation
+                ),
+                default_generation=self.default_generation,
+                base_estimator=self.estimator.compute_estimator,
+            )
 
     def schedule(
         self,
@@ -90,6 +136,12 @@ class SiloDScheduler:
         # lint: disable=DET003
         t0 = time.perf_counter() if tracer.enabled else 0.0
         self.last_scores = {}
+        self.last_gen_scores = {}
+        self.last_generations = {}
+        if isinstance(self.estimator, HetSiloDPerfEstimator):
+            # Generation maps are per-round; stale entries from the
+            # previous round must not leak into the new solve.
+            self.estimator.assignments.clear()
         # The regular list is only needed when partitioning actually
         # happens — in the (common) all-regular case one pass suffices.
         irregular = [j for j in jobs if not j.regular]
@@ -152,10 +204,71 @@ class SiloDScheduler:
             attained_service_s=attained_service_s,
             tracer=self.tracer,
             effective_cache_map=effective_cache_map,
+            gpu_pools=self.gpu_pools,
         )
         allocation = self.policy.schedule(jobs, total, ctx)
         self.last_scores.update(ctx.job_scores)
+        self.last_gen_scores.update(ctx.gen_scores)
+        self.last_generations.update(ctx.gen_assignments)
+        self._complete_generations(jobs, allocation)
         return allocation
+
+    def _complete_generations(
+        self, jobs: Sequence[Job], allocation: Allocation
+    ) -> None:
+        """Default generation placement for generation-naive policies.
+
+        Heterogeneity-aware policies fill ``ctx.gen_assignments``
+        themselves; for the rest (FIFO, SJF, vanilla Gavel) on a mixed
+        fleet, running jobs are placed deterministically — largest GPU
+        grant first (ties by job_id) onto the fastest pool with
+        remaining whole-request capacity, overflow time-sharing the
+        emptiest pool. This is bookkeeping for provenance/placement
+        only: a naive policy's estimator still prices every GPU at the
+        reference speed, which is exactly the pessimism the
+        heterogeneity-aware objectives remove.
+        """
+        if self.gpu_pools is None:
+            for job in jobs:
+                self.last_generations.setdefault(
+                    job.job_id, self.default_generation
+                )
+            return
+        unassigned = [
+            j
+            for j in jobs
+            if j.job_id not in self.last_generations
+            and allocation.gpus_of(j.job_id) > 0
+        ]
+        if not unassigned:
+            return
+        speedups: Dict[str, float] = (
+            self.estimator.speedups
+            if isinstance(self.estimator, HetSiloDPerfEstimator)
+            else {}
+        )
+        order = sorted(
+            self.gpu_pools,
+            key=lambda gen: (-speedups.get(gen, 1.0), gen),
+        )
+        remaining = dict(self.gpu_pools)
+        for job in sorted(
+            unassigned,
+            key=lambda j: (-allocation.gpus_of(j.job_id), j.job_id),
+        ):
+            placed = None
+            for gen in order:
+                if remaining[gen] >= job.num_gpus:
+                    placed = gen
+                    break
+            if placed is None:
+                placed = max(
+                    order, key=lambda gen: (remaining[gen], gen)
+                )
+            remaining[placed] = max(
+                0, remaining[placed] - job.num_gpus
+            )
+            self.last_generations[job.job_id] = placed
 
     def _schedule_partitioned(
         self,

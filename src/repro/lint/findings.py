@@ -48,6 +48,8 @@ RULES: Dict[str, str] = {
     "POL002": "policy module imports simulator internals (repro.sim)",
     "POL003": "policy code reaches into another object's private "
     "attributes",
+    "POL004": "heterogeneity-aware policy never publishes per-generation "
+    "scores (ScheduleContext.gen_scores)",
     "PERF001": "per-item Python loop over cache state in a module that "
     "imports the vectorized helpers (use the store's bulk APIs)",
 }

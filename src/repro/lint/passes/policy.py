@@ -14,7 +14,12 @@ that defines a ``SchedulingPolicy`` subclass:
 * ``POL002`` — an import of ``repro.sim`` (simulator internals) from
   policy code;
 * ``POL003`` — an attribute access ``obj._private`` where ``obj`` is
-  not ``self``/``cls`` (reaching across an encapsulation boundary).
+  not ``self``/``cls`` (reaching across an encapsulation boundary);
+* ``POL004`` — a policy class declaring ``heterogeneity_aware = True``
+  whose local class chain never references ``gen_scores``: a
+  heterogeneity-aware policy must publish its per-generation compute
+  bounds through ``ScheduleContext.gen_scores`` so decision provenance
+  (``decision_job.f_star_gen_mbps``) can explain the placement.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ class PolicyConformancePass(LintPass):
     """Check SchedulingPolicy subclasses and policy-module hygiene."""
 
     name = "policy"
-    rules = ("POL001", "POL002", "POL003")
+    rules = ("POL001", "POL002", "POL003", "POL004")
 
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan the module if it is policy code; no-op otherwise."""
@@ -70,6 +75,9 @@ class PolicyConformancePass(LintPass):
         for name in sorted(policy_classes):
             findings.extend(
                 self._check_interface(src, classes, classes[name])
+            )
+            findings.extend(
+                self._check_het_publishes(src, classes, classes[name])
             )
         findings.extend(self._check_private_access(src))
         return findings
@@ -119,6 +127,27 @@ class PolicyConformancePass(LintPass):
             )
         ]
 
+    def _check_het_publishes(
+        self,
+        src: SourceFile,
+        classes: Dict[str, ast.ClassDef],
+        cls: ast.ClassDef,
+    ) -> List[Finding]:
+        ancestry = _local_ancestry(classes, cls)
+        if not any(_declares_het_aware(c) for c in ancestry):
+            return []
+        if any(_references_gen_scores(c) for c in ancestry):
+            return []
+        return [
+            src.finding(
+                cls,
+                "POL004",
+                f"policy class {cls.name} declares "
+                "heterogeneity_aware = True but never publishes "
+                "per-generation scores via ScheduleContext.gen_scores",
+            )
+        ]
+
     def _check_private_access(self, src: SourceFile) -> List[Finding]:
         findings: List[Finding] = []
         for node in ast.walk(src.tree):
@@ -131,6 +160,14 @@ class PolicyConformancePass(LintPass):
             if isinstance(receiver, ast.Name) and receiver.id in (
                 "self",
                 "cls",
+            ):
+                continue
+            # ``super()._x`` is still self-dispatch, not a reach into
+            # another object's internals.
+            if (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "super"
             ):
                 continue
             findings.append(
@@ -187,6 +224,58 @@ def _chain_defines(
         if parent is None:
             return True  # imported base: assume conformant
         if _chain_defines(classes, parent, predicate, seen):
+            return True
+    return False
+
+
+def _local_ancestry(
+    classes: Dict[str, ast.ClassDef], cls: ast.ClassDef
+) -> List[ast.ClassDef]:
+    """``cls`` plus every module-local ancestor, cycle-safe."""
+    out: List[ast.ClassDef] = []
+    stack = [cls]
+    seen: Set[str] = set()
+    while stack:
+        node = stack.pop()
+        if node.name in seen:
+            continue
+        seen.add(node.name)
+        out.append(node)
+        for base in _base_names(node):
+            parent = classes.get(base)
+            if parent is not None:
+                stack.append(parent)
+    return out
+
+
+def _declares_het_aware(cls: ast.ClassDef) -> bool:
+    """Does the class body set ``heterogeneity_aware = True``?"""
+    for item in cls.body:
+        value = None
+        if isinstance(item, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "heterogeneity_aware"
+                for t in item.targets
+            ):
+                value = item.value
+        elif isinstance(item, ast.AnnAssign):
+            target = item.target
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "heterogeneity_aware"
+            ):
+                value = item.value
+        if isinstance(value, ast.Constant) and value.value is True:
+            return True
+    return False
+
+
+def _references_gen_scores(cls: ast.ClassDef) -> bool:
+    """Does anything in the class body touch ``gen_scores``?"""
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Attribute) and node.attr == "gen_scores":
+            return True
+        if isinstance(node, ast.Name) and node.id == "gen_scores":
             return True
     return False
 

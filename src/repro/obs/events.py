@@ -224,6 +224,8 @@ EVENT_FIELDS: Dict[str, tuple] = {
         "io_bound",
         "eff_cache_mb",
         "score",
+        "generation",
+        "f_star_gen_mbps",
     ),
     SLO_WARN: ("deadline_s", "elapsed_s", "remaining_s", "ratio"),
     SLO_VIOLATION: ("deadline_s", "jct_s", "overrun_s", "state"),

@@ -49,6 +49,13 @@ class DecisionRecord:
     io_bound: bool
     eff_cache_mb: float
     score: float
+    #: Assigned GPU generation ("?" for pre-heterogeneity logs).
+    generation: str = "?"
+    #: Per-generation compute bounds weighed this round (empty for
+    #: pre-heterogeneity logs or generation-naive schedulers).
+    f_star_gen_mbps: Dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
 
 
 def achieved_rate(
@@ -83,12 +90,22 @@ def emit_decision_provenance(
     f_stars: Dict[str, float],
     effective_mb: Callable,
     scores: Dict[str, float],
+    generations: Optional[Dict[str, str]] = None,
+    gen_f_stars: Optional[Dict[str, Dict[str, float]]] = None,
+    default_generation: str = "V100",
 ) -> None:
     """Emit one round's ``decision_epoch`` + per-job ``decision_job``.
 
     Jobs are emitted in ``job_id`` order so the provenance subsequence
     is deterministic regardless of the caller's iteration order. Free
     when tracing is off (callers still guard on ``tracer.enabled``).
+
+    ``generations`` maps job_id to the assigned GPU generation and
+    ``gen_f_stars`` to the per-generation compute bounds the policy
+    weighed; jobs absent from either fall back to
+    ``default_generation`` and a one-entry ``{generation: f*}`` map,
+    so homogeneous runs carry the same (trivially constant) fields —
+    batch and serve emissions stay bit-identical either way.
     """
     if not tracer.enabled:
         return
@@ -108,6 +125,12 @@ def emit_decision_provenance(
         hit = min(1.0, max(0.0, hit_ratios.get(job_id, 0.0)))
         grant = io_grants.get(job_id, 0.0)
         est = achieved_rate(f_star, hit, grant)
+        generation = (generations or {}).get(
+            job_id, default_generation
+        )
+        by_gen = (gen_f_stars or {}).get(job_id)
+        if by_gen is None:
+            by_gen = {generation: f_star}
         tracer.decision_job(
             ts_s,
             job_id,
@@ -121,6 +144,8 @@ def emit_decision_provenance(
             io_bound=est < f_star - 1e-9,
             eff_cache_mb=effective_mb(job),
             score=scores.get(job_id, 0.0),
+            generation=generation,
+            f_star_gen_mbps=dict(by_gen),
         )
 
 
@@ -156,6 +181,10 @@ def decision_chain(
                 io_bound=f["io_bound"],
                 eff_cache_mb=f["eff_cache_mb"],
                 score=f["score"],
+                # ``.get`` defaults keep pre-heterogeneity event logs
+                # replayable.
+                generation=f.get("generation", "?"),
+                f_star_gen_mbps=dict(f.get("f_star_gen_mbps") or {}),
             )
         )
     return chain
@@ -201,12 +230,21 @@ def render_explain(events: Sequence[Event], job_id: str) -> str:
     prev: Optional[DecisionRecord] = None
     for rec in chain:
         bound = "io-bound" if rec.io_bound else "compute-bound"
+        gen_txt = (
+            f" on {rec.generation}" if rec.generation != "?" else ""
+        )
         lines.append(
             f"round {rec.round} @ t={rec.ts_s:,.1f}s [{rec.trigger}]: "
-            f"gpus {rec.gpus:g}, cache {rec.cache_mb:,.1f} MB "
+            f"gpus {rec.gpus:g}{gen_txt}, cache {rec.cache_mb:,.1f} MB "
             f"(effective {rec.eff_cache_mb:,.1f}), "
             f"io {rec.io_mbps:,.1f} MB/s, score {rec.score:.4g}"
         )
+        if len(rec.f_star_gen_mbps) > 1:
+            alts = ", ".join(
+                f"{gen} {f_star:,.1f}"
+                for gen, f_star in rec.f_star_gen_mbps.items()
+            )
+            lines.append(f"  f* by generation (MB/s): {alts}")
         lines.append(
             f"  Eq.4: est = min(f* {rec.f_star_mbps:,.1f}, "
             f"grant {rec.io_mbps:,.1f} / miss {1.0 - rec.hit_ratio:.3f})"

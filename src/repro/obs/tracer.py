@@ -495,8 +495,17 @@ class Tracer:
         io_bound: bool,
         eff_cache_mb: float,
         score: float,
+        generation: str,
+        f_star_gen_mbps: dict,
     ) -> None:
-        """One job's Eq. 4 inputs and resulting allocation this round."""
+        """One job's Eq. 4 inputs and resulting allocation this round.
+
+        ``generation`` is the GPU generation the job was placed on
+        (the cluster's single generation on homogeneous fleets);
+        ``f_star_gen_mbps`` maps each candidate generation to the
+        job's compute bound there — a one-entry map when the
+        scheduler is generation-naive.
+        """
         self.emit(
             ts_s,
             ev.DECISION_JOB,
@@ -511,6 +520,8 @@ class Tracer:
             io_bound=io_bound,
             eff_cache_mb=eff_cache_mb,
             score=score,
+            generation=generation,
+            f_star_gen_mbps=f_star_gen_mbps,
         )
 
     def slo_warn(

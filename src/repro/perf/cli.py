@@ -45,7 +45,8 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help=f"run a named scenario (repeatable; one of "
         f"{', '.join(sorted(SCENARIOS))}; serve_* names run the online "
-        "service bench, see docs/SERVE.md)",
+        "service bench, see docs/SERVE.md; het_* names run the "
+        "heterogeneous-fleet policy bench, see docs/PERFORMANCE.md)",
     )
     parser.add_argument(
         "--backend",
@@ -105,6 +106,7 @@ def _render_record(record) -> str:
 
 
 def _list_catalogue() -> str:
+    from repro.perf.het_bench import HET_SCENARIOS
     from repro.serve.bench import SERVE_SCENARIOS
 
     lines = ["scenarios:"]
@@ -123,20 +125,38 @@ def _list_catalogue() -> str:
             f"{s.num_jobs:>6} jobs x {s.num_gpus:>5} GPUs "
             f"@ {s.arrival_rate_per_s:,.0f}/s ({s.policy} x {s.cache})"
         )
+    lines.append("het scenarios (mixed-generation policy sweep):")
+    for name in sorted(HET_SCENARIOS):
+        s = HET_SCENARIOS[name]
+        lines.append(
+            f"  {name:>18}: het/fluid "
+            f"{s.num_jobs:>6} jobs on {s.mix_spec} "
+            f"({s.num_gpus} GPUs, cache {s.cache})"
+        )
     lines.append("suites:")
     for suite in sorted(SUITES):
         lines.append(f"  {suite:>18}: {', '.join(SUITES[suite])}")
     return "\n".join(lines)
 
 
-def _is_serve_baseline(path) -> bool:
-    """True when a ``--compare`` artifact is a serve bench record."""
+def _baseline_scenario(path) -> str:
+    """The scenario name stamped in a ``--compare`` artifact."""
     try:
         raw = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"cannot read baseline {path}: {exc}") from exc
     scenario = raw.get("scenario")
-    return isinstance(scenario, str) and scenario.startswith("serve_")
+    return scenario if isinstance(scenario, str) else ""
+
+
+def _is_serve_baseline(path) -> bool:
+    """True when a ``--compare`` artifact is a serve bench record."""
+    return _baseline_scenario(path).startswith("serve_")
+
+
+def _is_het_baseline(path) -> bool:
+    """True when a ``--compare`` artifact is a het bench record."""
+    return _baseline_scenario(path).startswith("het_")
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -152,10 +172,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     serve_baseline_paths = [
         p for p in args.compare if _is_serve_baseline(p)
     ]
+    het_baseline_paths = [
+        p for p in args.compare if _is_het_baseline(p)
+    ]
     baselines = [
         load_record(path)
         for path in args.compare
         if path not in serve_baseline_paths
+        and path not in het_baseline_paths
     ]
     serve_baselines = []
     if serve_baseline_paths:
@@ -164,14 +188,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
         serve_baselines = [
             load_serve_record(path) for path in serve_baseline_paths
         ]
+    het_baselines = []
+    if het_baseline_paths:
+        from repro.perf.het_bench import load_het_record
+
+        het_baselines = [
+            load_het_record(path) for path in het_baseline_paths
+        ]
     suite = args.suite
     if suite is None and not args.scenario and not baselines:
-        if not serve_baselines:
+        if not serve_baselines and not het_baselines:
             suite = "scale"
     names = list(args.scenario)
-    # Online scenarios route to the serve bench (repro.serve.bench).
+    # Online scenarios route to the serve bench (repro.serve.bench),
+    # mixed-generation scenarios to repro.perf.het_bench.
     serve_names = [n for n in names if n.startswith("serve_")]
-    names = [n for n in names if not n.startswith("serve_")]
+    het_names = [n for n in names if n.startswith("het_")]
+    names = [
+        n for n in names
+        if not n.startswith("serve_") and not n.startswith("het_")
+    ]
     for baseline in baselines:
         if baseline.scenario not in SCENARIOS:
             raise SystemExit(
@@ -183,8 +219,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for baseline in serve_baselines:
         if baseline.scenario not in serve_names:
             serve_names.append(baseline.scenario)
+    for baseline in het_baselines:
+        if baseline.scenario not in het_names:
+            het_names.append(baseline.scenario)
     specs = scenarios_for(suite, names)
-    if not specs and not serve_names:
+    if not specs and not serve_names and not het_names:
         raise SystemExit("nothing to run: no suite, scenario, or baseline")
 
     failures = 0
@@ -241,6 +280,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 if baseline.scenario != record.scenario:
                     continue
                 deltas = compare_serve_records(
+                    record, baseline, threshold=args.threshold
+                )
+                print(
+                    f"  compare vs baseline ({baseline.created_utc}), "
+                    f"threshold {args.threshold:.0%}:"
+                )
+                for delta in deltas:
+                    print(f"    {delta.render()}")
+                if has_failures(deltas):
+                    failures += 1
+
+    if het_names:
+        from repro.perf.het_bench import (
+            HET_SCENARIOS,
+            compare_het_records,
+            render_het_record,
+            run_het_scenario,
+            write_het_record,
+        )
+
+        for name in het_names:
+            if name not in HET_SCENARIOS:
+                raise SystemExit(
+                    f"unknown het scenario {name!r}; expected one of "
+                    f"{', '.join(sorted(HET_SCENARIOS))}"
+                )
+            with perf_backend.using_backend(
+                None if args.backend == "auto" else args.backend
+            ):
+                record = run_het_scenario(HET_SCENARIOS[name])
+            print(render_het_record(record))
+            if not args.no_write:
+                path = write_het_record(
+                    record, out_dir / f"BENCH_{record.scenario}.json"
+                )
+                print(f"  -> {path}")
+            for baseline in het_baselines:
+                if baseline.scenario != record.scenario:
+                    continue
+                deltas = compare_het_records(
                     record, baseline, threshold=args.threshold
                 )
                 print(

@@ -126,6 +126,24 @@ class PlacementService:
         """Whether the policy runs Algorithm 1's joint allocation."""
         return self.scheduler.storage_aware
 
+    @property
+    def default_generation(self) -> str:
+        """Reference GPU generation jobs run on absent a pool choice."""
+        return self.scheduler.default_generation
+
+    @property
+    def gpu_pools(self) -> Optional[Dict[str, int]]:
+        """Per-generation GPU counts, or ``None`` on homogeneous fleets."""
+        pools = self.scheduler.gpu_pools
+        return dict(pools) if pools else None
+
+    @property
+    def heterogeneity_aware(self) -> bool:
+        """Whether the live policy scales f* by GPU generation."""
+        return bool(
+            getattr(self.scheduler.policy, "heterogeneity_aware", False)
+        )
+
 
 class CacheAllocService:
     """The cache subsystem behind incremental re-allocation.
@@ -197,6 +215,9 @@ class ServiceStack:
             "placement": {
                 "policy": self.placement.policy_name,
                 "storage_aware": self.placement.storage_aware,
+                "heterogeneity_aware": self.placement.heterogeneity_aware,
+                "default_generation": self.placement.default_generation,
+                "gpu_pools": self.placement.gpu_pools,
             },
             "cache_alloc": {
                 "cache": self.cache,

@@ -189,6 +189,9 @@ class FluidSimulator:
         self.cluster = cluster
         self.scheduler = scheduler
         self.cache_system = cache_system
+        # Adopt the cluster's GPU-generation mix (no-op numerics on
+        # homogeneous fleets; installs the het estimator on mixed ones).
+        scheduler.enable_heterogeneity(cluster)
         self._tracer = tracer if tracer is not None else NULL_TRACER
         if tracer is not None:
             scheduler.tracer = tracer
@@ -868,6 +871,18 @@ class FluidSimulator:
             # hot loops (identical values by construction).
             effective_cache_map=self._effective,
         )
+        # Mirror the round's generation placement into the job table's
+        # gen column (trivially the reference generation on homogeneous
+        # fleets); ``generation_of`` reads it back.
+        generations = self.scheduler.last_generations
+        default_gen = self.scheduler.default_generation
+        for progress in self._active.values():
+            job_id = progress.job.job_id
+            row = self._table.row_of(job_id)
+            if row is not None:
+                self._table.set_generation(
+                    row, generations.get(job_id, default_gen)
+                )
         self._invalidate_epoch_view()
         if tracer.enabled:
             start_candidates = self._active.values()
@@ -942,6 +957,17 @@ class FluidSimulator:
             else progress.work_done_mb
         )
         return work_done_mb / job.ideal_throughput_mbps * job.num_gpus
+
+    def generation_of(self, job_id: str) -> Optional[str]:
+        """The GPU generation ``job_id`` is currently placed on.
+
+        Read from the job table's gen column; ``None`` before the job's
+        first scheduling round (or for unknown ids).
+        """
+        row = self._table.row_of(job_id)
+        if row is None:
+            return None
+        return self._table.generation(row)
 
     def _running_jobs(self) -> List[Job]:
         return [
@@ -1081,6 +1107,9 @@ class FluidSimulator:
                 dict(zip(view.job_ids, view.f_stars)),
                 lambda job: self._effective.get(job.job_id, 0.0),
                 self.scheduler.last_scores,
+                generations=self.scheduler.last_generations,
+                gen_f_stars=self.scheduler.last_gen_scores,
+                default_generation=self.scheduler.default_generation,
             )
 
     def _apply_targets(self) -> None:

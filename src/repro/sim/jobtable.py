@@ -76,6 +76,11 @@ class JobTable:
         self._n = 0
         self._job_ids: List[str] = []
         self._rows = {}  # job_id -> row
+        #: Interned GPU-generation names; the ``_gen`` column stores
+        #: indices into this list (-1 = unassigned). Kept as small-int
+        #: codes so the column stays numeric on both backends.
+        self._gen_names: List[str] = []
+        self._gen_codes = {}  # name -> index
         capacity = max(1, capacity)
         if self._vectorized:
             np = require_numpy()
@@ -86,6 +91,7 @@ class JobTable:
             self._rate = np.zeros(capacity)
             self._miss = np.zeros(capacity)
             self._epochs_done = np.zeros(capacity)
+            self._gen = np.full(capacity, -1, dtype=np.intp)
             self._alive = RowBitset(capacity, vectorized=True)
         else:
             self._work = [0.0] * capacity
@@ -94,6 +100,7 @@ class JobTable:
             self._rate = [0.0] * capacity
             self._miss = [0.0] * capacity
             self._epochs_done = [0.0] * capacity
+            self._gen = [-1] * capacity
             #: Ordered set of live rows (dict preserves admission order;
             #: rows only append, so iteration is ascending).
             self._live = {}
@@ -123,6 +130,9 @@ class JobTable:
                 new = np.full(new_cap, fill)
                 new[: len(old)] = old
                 setattr(self, name, new)
+            gen = np.full(new_cap, -1, dtype=np.intp)
+            gen[: len(self._gen)] = self._gen
+            self._gen = gen
             self._alive.grow(new_cap)
         else:
             extra = max(capacity - len(self._work), len(self._work))
@@ -132,6 +142,7 @@ class JobTable:
             self._rate.extend([0.0] * extra)
             self._miss.extend([0.0] * extra)
             self._epochs_done.extend([0.0] * extra)
+            self._gen.extend([-1] * extra)
 
     def admit(self, job_id: str, total_work_mb: float, epoch_mb: float) -> int:
         """Append a row for a newly admitted job; returns its row index."""
@@ -147,6 +158,7 @@ class JobTable:
         self._rate[row] = 0.0
         self._miss[row] = 0.0
         self._epochs_done[row] = 0.0
+        self._gen[row] = -1
         if self._vectorized:
             self._alive.set(row)
         else:
@@ -197,6 +209,25 @@ class JobTable:
     def set_epochs_done(self, row: int, value: int) -> None:
         """Record that ``row`` has promoted ``value`` epoch boundaries."""
         self._epochs_done[row] = float(value)
+
+    def set_generation(self, row: int, name: Optional[str]) -> None:
+        """Record ``row``'s assigned GPU generation (``None`` clears)."""
+        if name is None:
+            self._gen[row] = -1
+            return
+        code = self._gen_codes.get(name)
+        if code is None:
+            code = len(self._gen_names)
+            self._gen_codes[name] = code
+            self._gen_names.append(name)
+        self._gen[row] = code
+
+    def generation(self, row: int) -> Optional[str]:
+        """``row``'s assigned GPU generation, or ``None``."""
+        code = int(self._gen[row])
+        if code < 0:
+            return None
+        return self._gen_names[code]
 
     def clear_rates(self) -> None:
         """Zero every row's throughput and miss rate (pre-recompute)."""

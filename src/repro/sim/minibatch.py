@@ -81,6 +81,9 @@ class _JobRuntime:
         self.accesses_recent = 0
         self.prefetch_depth = prefetch_depth
         self.comp_finish_history: deque = deque(maxlen=prefetch_depth)
+        #: Assigned GPU generation this round (mirrors the fluid
+        #: simulator's job-table gen column); ``None`` until scheduled.
+        self.generation: Optional[str] = None
         self.start_time_s: Optional[float] = None
         self.finish_time_s: Optional[float] = None
         # Per-interval accounting for throughput/IO timelines.
@@ -163,6 +166,9 @@ class MinibatchEmulator:
         self.cluster = cluster
         self.scheduler = scheduler
         self.cache_system = cache_system
+        # Adopt the cluster's GPU-generation mix (mirrors the fluid
+        # simulator: no-op numerics on homogeneous fleets).
+        scheduler.enable_heterogeneity(cluster)
         self._tracer = tracer if tracer is not None else NULL_TRACER
         if tracer is not None:
             scheduler.tracer = tracer
@@ -574,6 +580,14 @@ class MinibatchEmulator:
             now_s=self.clock_s,
             effective_cache_mb=self._effective_mb,
         )
+        # Mirror the round's generation placement (the fluid simulator's
+        # job-table gen column) onto the per-job runtimes.
+        generations = self.scheduler.last_generations
+        default_gen = self.scheduler.default_generation
+        for rt in self._active.values():
+            rt.generation = generations.get(
+                rt.job.job_id, default_gen
+            )
         running = [
             rt.job
             for rt in self._active.values()
@@ -674,6 +688,9 @@ class MinibatchEmulator:
                 },
                 self._effective_mb,
                 self.scheduler.last_scores,
+                generations=self.scheduler.last_generations,
+                gen_f_stars=self.scheduler.last_gen_scores,
+                default_generation=self.scheduler.default_generation,
             )
 
     def _work_conserving_io_grants(self, running: Sequence[Job]) -> None:

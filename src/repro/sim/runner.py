@@ -25,6 +25,10 @@ from repro.cluster.job import Job
 from repro.core.policies.base import SchedulingPolicy
 from repro.core.policies.fifo import FifoPolicy
 from repro.core.policies.gavel import GavelPolicy
+from repro.core.policies.het import (
+    HetMaxMinPolicy,
+    HetMaxThroughputPolicy,
+)
 from repro.core.policies.las import LasPolicy
 from repro.core.policies.objectives import (
     FinishTimeFairnessPolicy,
@@ -54,6 +58,10 @@ def make_policy(name: str) -> SchedulingPolicy:
         return MaxTotalThroughputPolicy()
     if name == "finish-time-fairness":
         return FinishTimeFairnessPolicy()
+    if name == "het-max-min":
+        return HetMaxMinPolicy()
+    if name == "het-max-throughput":
+        return HetMaxThroughputPolicy()
     raise ValueError(f"unknown policy {name!r}; expected one of {POLICIES}")
 
 

@@ -68,3 +68,103 @@ def test_server_defaults():
     cluster = hardware.Cluster.build(2, 4, units.tb(1.0), 200.0)
     assert len(cluster.servers) == 2
     assert all(s.num_gpus == 4 for s in cluster.servers)
+
+# ----------------------------------------------------------------------
+# Mixed-generation fleets (heterogeneity-aware scheduling).
+# ----------------------------------------------------------------------
+
+
+def test_h100_records_dense_alongside_sparsity_tflops():
+    h100 = hardware.GPU_GENERATIONS["H100"]
+    assert h100.fp32_tflops == 510.0  # Figure 1's with-sparsity point
+    assert h100.dense_fp32_tflops == 67.0
+    assert h100.dense_tflops == 67.0
+    # Every other generation's headline number already is dense fp32.
+    for name, spec in hardware.GPU_GENERATIONS.items():
+        if name != "H100":
+            assert spec.dense_tflops == spec.fp32_tflops
+
+
+def test_build_mixed_pools_and_reference():
+    cluster = hardware.Cluster.build_mixed(
+        [("V100", 2), ("A100", 1)],
+        gpus_per_server=4,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=200.0,
+    )
+    assert cluster.total_gpus == 12
+    assert cluster.is_heterogeneous
+    assert cluster.gpus_by_generation == {"V100": 8, "A100": 4}
+    assert cluster.generations == ["V100", "A100"]  # release order
+    # Majority generation wins the reference slot.
+    assert cluster.gpu.name == "V100"
+    assert [s.gpu.name for s in cluster.servers] == [
+        "V100",
+        "V100",
+        "A100",
+    ]
+
+
+def test_build_mixed_reference_override_and_tie_break():
+    tied = hardware.Cluster.build_mixed(
+        [("A100", 1), ("K80", 1)],
+        gpus_per_server=4,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=200.0,
+    )
+    # Equal GPU counts: the earliest release year wins the tie.
+    assert tied.gpu.name == "K80"
+    forced = hardware.Cluster.build_mixed(
+        [("A100", 1), ("K80", 1)],
+        gpus_per_server=4,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=200.0,
+        reference="A100",
+    )
+    assert forced.gpu.name == "A100"
+
+
+def test_build_mixed_single_entry_collapses_to_build():
+    mixed = hardware.Cluster.build_mixed(
+        [("V100", 2)],
+        gpus_per_server=4,
+        cache_per_server_mb=units.gb(25),
+        remote_io_mbps=200.0,
+    )
+    plain = hardware.Cluster.build(2, 4, units.gb(25), 200.0)
+    assert not mixed.is_heterogeneous
+    assert mixed.gpus_by_generation == plain.gpus_by_generation
+    assert mixed.total_cache_mb == plain.total_cache_mb
+    assert mixed.gpu.name == plain.gpu.name
+
+
+def test_build_mixed_rejects_bad_specs():
+    with pytest.raises(ValueError):
+        hardware.Cluster.build_mixed(
+            [], gpus_per_server=4,
+            cache_per_server_mb=1.0, remote_io_mbps=1.0,
+        )
+    with pytest.raises(ValueError):
+        hardware.Cluster.build_mixed(
+            [("TPUv4", 1)], gpus_per_server=4,
+            cache_per_server_mb=1.0, remote_io_mbps=1.0,
+        )
+    with pytest.raises(ValueError):
+        hardware.Cluster.build_mixed(
+            [("V100", 0)], gpus_per_server=4,
+            cache_per_server_mb=1.0, remote_io_mbps=1.0,
+        )
+
+
+def test_parse_gpu_mix():
+    assert hardware.parse_gpu_mix("V100:2,A100:1") == [
+        ("V100", 2),
+        ("A100", 1),
+    ]
+    assert hardware.parse_gpu_mix(" K80:12 , P100:8 ") == [
+        ("K80", 12),
+        ("P100", 8),
+    ]
+    for bad in ("V100", "V100:x", "TPUv4:2", "V100:0", ""):
+        with pytest.raises(ValueError):
+            hardware.parse_gpu_mix(bad)

@@ -141,3 +141,39 @@ class TestValidatePlacement:
         report = validate_placement(cl, jobs, gp, sp, {})
         assert report.feasible
         assert sum(report.disk_load_mbps.values()) == 0.0
+
+
+class TestGenerationAwarePlacement:
+    def mixed(self):
+        return Cluster.build_mixed(
+            [("V100", 1), ("A100", 1)],
+            gpus_per_server=4,
+            cache_per_server_mb=100.0 * GB,
+            remote_io_mbps=500.0,
+        )
+
+    def test_place_filters_by_generation(self):
+        placer = GpuPlacer(self.mixed())
+        placement = placer.place(job("a", gpus=2), generation="A100")
+        a100_server = next(
+            s.server_id
+            for s in self.mixed().servers
+            if s.gpu.name == "A100"
+        )
+        assert set(placement.gpus_by_server) == {a100_server}
+        assert placer.free_gpus_of("A100") == 2
+        assert placer.free_gpus_of("V100") == 4
+
+    def test_pool_exhaustion_names_the_pool(self):
+        placer = GpuPlacer(self.mixed())
+        placer.place(job("a", gpus=4), generation="V100")
+        with pytest.raises(PlacementError, match="V100"):
+            placer.place(job("b", gpus=1), generation="V100")
+        # The other pool is unaffected.
+        placer.place(job("b", gpus=1), generation="A100")
+
+    def test_generation_none_uses_the_whole_fleet(self):
+        placer = GpuPlacer(self.mixed())
+        placement = placer.place(job("wide", gpus=8))
+        assert placement.total_gpus == 8
+        assert placer.free_gpus == 0

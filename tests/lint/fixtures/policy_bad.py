@@ -14,3 +14,14 @@ class HollowPolicy(SchedulingPolicy):  # POL001: no schedule, no name
     def widen(self, allocation):
         """Mutate another object's private bookkeeping."""
         allocation._grants["j1"] = fluid and 1.0  # POL003
+
+
+class SilentHetPolicy(SchedulingPolicy):  # POL004: no gen_scores
+    """Claims heterogeneity awareness, publishes nothing."""
+
+    name = "silent-het"
+    heterogeneity_aware = True
+
+    def schedule(self, jobs, total, ctx):
+        """Allocate without ever exposing per-generation scores."""
+        return ctx.estimator.empty_allocation()

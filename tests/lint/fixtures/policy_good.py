@@ -22,3 +22,22 @@ class RefinedPolicy(WellBehavedPolicy):
     def tiebreak(self, jobs):
         """A public helper; inherited interface keeps POL001 quiet."""
         return sorted(jobs, key=lambda job: job.job_id)
+
+
+class HonestHetPolicy(WellBehavedPolicy):
+    """Declares heterogeneity awareness and publishes gen scores."""
+
+    name = "honest-het"
+    heterogeneity_aware = True
+
+    def schedule(self, jobs, total, ctx):
+        """Publish per-generation f* before allocating."""
+        for job in jobs:
+            ctx.gen_scores[job.job_id] = {"V100": 100.0}
+        return super().schedule(jobs, total, ctx)
+
+
+class InheritedHetPolicy(HonestHetPolicy):
+    """Inherits both the declaration and the publishing ancestor."""
+
+    name = "inherited-het"

@@ -45,7 +45,7 @@ CASES = [
     (
         PolicyConformancePass,
         "policy_bad.py",
-        {"POL001", "POL002", "POL003"},
+        {"POL001", "POL002", "POL003", "POL004"},
         "policy_good.py",
     ),
     (

@@ -56,7 +56,8 @@ def _emit_one_of_each(tracer):
     tracer.decision_job(
         4.9, "j1", round=1, gpus=2.0, cache_mb=50.0, io_mbps=10.0,
         f_star_mbps=20.0, hit_ratio=0.3, est_mbps=14.3, io_bound=True,
-        eff_cache_mb=30.0, score=0.0,
+        eff_cache_mb=30.0, score=0.0, generation="V100",
+        f_star_gen_mbps={"V100": 20.0},
     )
     tracer.slo_warn(
         4.9, "j1", deadline_s=6.0, elapsed_s=4.9, remaining_s=1.1,

@@ -1,0 +1,157 @@
+"""Het bench records: round-trip, drift comparison, ordering smoke."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.perf.het_bench import (
+    HET_BENCH_FIELDS,
+    HET_BENCH_SCHEMA_VERSION,
+    HET_POLICIES,
+    HET_SCENARIOS,
+    HetBenchRecord,
+    HetBenchScenario,
+    compare_het_records,
+    load_het_record,
+    render_het_record,
+    run_het_scenario,
+    write_het_record,
+)
+from repro.perf.record import has_failures
+
+pytestmark = pytest.mark.perf
+
+
+def record(**overrides) -> HetBenchRecord:
+    base = dict(
+        schema_version=HET_BENCH_SCHEMA_VERSION,
+        scenario="het_tiny",
+        simulator="fluid",
+        cache="silod",
+        num_jobs=16,
+        num_gpus=12,
+        gpu_mix="V100:2,A100:1",
+        policies=list(HET_POLICIES),
+        agg_throughput_mbps={
+            "fifo": 100.0,
+            "het-max-min": 120.0,
+            "het-max-throughput": 125.0,
+        },
+        avg_jct_min={
+            "fifo": 200.0,
+            "het-max-min": 170.0,
+            "het-max-throughput": 180.0,
+        },
+        jobs_finished={
+            "fifo": 16,
+            "het-max-min": 16,
+            "het-max-throughput": 16,
+        },
+        ordering_ok=True,
+        wall_time_s=2.0,
+        created_utc="2026-08-07T00:00:00Z",
+        host={"python": "3.11.7"},
+    )
+    base.update(overrides)
+    return HetBenchRecord(**base)
+
+
+def test_het_bench_fields_match_dataclass_order():
+    assert HET_BENCH_FIELDS == tuple(
+        f.name for f in dataclasses.fields(HetBenchRecord)
+    )
+    assert HET_BENCH_FIELDS[0] == "schema_version"
+
+
+def test_write_load_roundtrip(tmp_path):
+    rec = record()
+    path = write_het_record(rec, tmp_path / "BENCH_het_tiny.json")
+    assert load_het_record(path) == rec
+    assert json.loads(path.read_text())["gpu_mix"] == "V100:2,A100:1"
+
+
+def test_load_rejects_schema_drift(tmp_path):
+    path = write_het_record(record(), tmp_path / "BENCH_het_tiny.json")
+    payload = json.loads(path.read_text())
+    payload["schema_version"] = HET_BENCH_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError):
+        load_het_record(path)
+    payload["schema_version"] = HET_BENCH_SCHEMA_VERSION
+    del payload["ordering_ok"]
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError):
+        load_het_record(path)
+
+
+def test_compare_flags_simulated_drift_bit_exactly():
+    base = record()
+    same = compare_het_records(record(), base, threshold=1.05)
+    assert not has_failures(same)
+    drifted = record()
+    drifted.agg_throughput_mbps["het-max-min"] = 120.001
+    deltas = compare_het_records(drifted, base, threshold=1.05)
+    failing = [d for d in deltas if d.drift or d.regressed]
+    assert [d.metric for d in failing] == ["agg[het-max-min]"]
+    assert has_failures(deltas)
+
+
+def test_compare_flags_ordering_regression():
+    broken = record(ordering_ok=False)
+    deltas = compare_het_records(broken, record(), threshold=1.05)
+    assert any(d.metric == "ordering_ok" and d.drift for d in deltas)
+
+
+def test_compare_rejects_identity_mismatch():
+    other = record(gpu_mix="K80:12,P100:8,V100:5")
+    with pytest.raises(ValueError):
+        compare_het_records(other, record(), threshold=1.05)
+
+
+def test_wall_time_is_thresholded_not_bit_exact():
+    slower = record(wall_time_s=2.05)
+    deltas = compare_het_records(slower, record(), threshold=1.10)
+    wall = next(d for d in deltas if d.metric == "wall_time_s")
+    assert not wall.regressed and not wall.drift
+
+
+def test_render_mentions_every_policy():
+    text = render_het_record(record())
+    for policy in HET_POLICIES:
+        assert policy in text
+    assert "V100:2,A100:1" in text
+
+
+def test_catalogue_scenarios_are_wellformed():
+    assert list(HET_SCENARIOS) == ["het_tiny", "het_philly"]
+    for name, spec in HET_SCENARIOS.items():
+        assert spec.name == name
+        assert spec.num_gpus == spec.gpus_per_server * sum(
+            n for _, n in spec.gpu_mix
+        )
+        assert spec.build_cluster().is_heterogeneous
+
+
+def test_run_het_scenario_smoke():
+    """A miniature mixed fleet runs the sweep with the ordering intact."""
+    spec = HetBenchScenario(
+        name="het_micro",
+        gpu_mix=(("V100", 1), ("A100", 1)),
+        num_jobs=8,
+        seed=7,
+        duration_median_s=1200.0,
+    )
+    rec = run_het_scenario(spec)
+    assert rec.scenario == "het_micro"
+    assert rec.policies == list(HET_POLICIES)
+    assert set(rec.agg_throughput_mbps) == set(HET_POLICIES)
+    assert all(v > 0 for v in rec.agg_throughput_mbps.values())
+    assert all(
+        rec.jobs_finished[p] <= spec.num_jobs for p in HET_POLICIES
+    )
+    # Determinism: the same spec reproduces every simulated metric.
+    again = run_het_scenario(spec)
+    assert again.agg_throughput_mbps == rec.agg_throughput_mbps
+    assert again.avg_jct_min == rec.avg_jct_min
+    assert again.ordering_ok == rec.ordering_ok

@@ -61,11 +61,12 @@ def make_engine(
     queue_limit: int = 64,
     simulator: str = "fluid",
     paused: bool = True,
+    cluster: Cluster | None = None,
     **sim_kwargs,
 ) -> OnlineEngine:
     stack = ServiceStack.build(policy, cache, queue_limit=queue_limit)
     return OnlineEngine(
-        small_cluster(),
+        cluster if cluster is not None else small_cluster(),
         stack,
         clock=VirtualClock(start_paused=paused),
         simulator=simulator,

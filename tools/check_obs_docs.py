@@ -17,7 +17,8 @@ reference cannot silently fall behind the engine.
 
 So does the benchmark artifact schema: the ``### `bench_record` ``
 field table in ``docs/PERFORMANCE.md`` must list exactly
-``repro.perf.record.BENCH_FIELDS``.
+``repro.perf.record.BENCH_FIELDS``, and the ``### `het_bench_record` ``
+table must list exactly ``repro.perf.het_bench.HET_BENCH_FIELDS``.
 
 And the online service: ``docs/SERVE.md`` must have a ``### `op` ``
 section per protocol operation (``repro.serve.protocol.OPS``), mention
@@ -158,6 +159,30 @@ def check_perf_doc(text: str, bench_fields: list) -> list:
     return problems
 
 
+def check_het_perf_doc(text: str, het_bench_fields: list) -> list:
+    """Drift messages for docs/PERFORMANCE.md vs the het bench schema."""
+    documented = parse_doc_schema(text).get("het_bench_record")
+    if documented is None:
+        return [
+            "docs/PERFORMANCE.md has no '### `het_bench_record`' "
+            "field table"
+        ]
+    problems = []
+    missing = [f for f in het_bench_fields if f not in documented]
+    extra = [f for f in documented if f not in het_bench_fields]
+    if missing:
+        problems.append(
+            f"het_bench_record: fields {missing} in "
+            f"repro.perf.het_bench.HET_BENCH_FIELDS but undocumented"
+        )
+    if extra:
+        problems.append(
+            f"het_bench_record: fields {extra} documented but not in "
+            f"repro.perf.het_bench.HET_BENCH_FIELDS"
+        )
+    return problems
+
+
 def check_serve_doc(
     text: str,
     ops: list,
@@ -229,6 +254,7 @@ def main() -> int:
     from repro.faults.spec import FAULT_KINDS
     from repro.obs.events import EVENT_FIELDS, FAULT_TYPES, SERVICE_TYPES
     from repro.obs.windows import WINDOW_NAMES
+    from repro.perf.het_bench import HET_BENCH_FIELDS
     from repro.perf.record import BENCH_FIELDS
     from repro.serve.bench import SERVE_BENCH_FIELDS
     from repro.serve.protocol import OPS, REJECT_REASONS
@@ -251,8 +277,10 @@ def main() -> int:
     if not PERF_DOC_PATH.exists():
         problems.append("docs/PERFORMANCE.md is missing")
     else:
+        perf_text = PERF_DOC_PATH.read_text()
+        problems.extend(check_perf_doc(perf_text, list(BENCH_FIELDS)))
         problems.extend(
-            check_perf_doc(PERF_DOC_PATH.read_text(), list(BENCH_FIELDS))
+            check_het_perf_doc(perf_text, list(HET_BENCH_FIELDS))
         )
     if not SERVE_DOC_PATH.exists():
         problems.append("docs/SERVE.md is missing")
@@ -275,7 +303,8 @@ def main() -> int:
         f"{sum(len(v) for v in code_fields.values())} fields, "
         f"{len(WINDOW_NAMES)} windows; "
         f"docs/FAULTS.md in sync: {len(FAULT_KINDS)} fault kinds; "
-        f"docs/PERFORMANCE.md in sync: {len(BENCH_FIELDS)} bench fields; "
+        f"docs/PERFORMANCE.md in sync: {len(BENCH_FIELDS)} bench fields "
+        f"+ {len(HET_BENCH_FIELDS)} het bench fields; "
         f"docs/SERVE.md in sync: {len(OPS)} ops, "
         f"{len(SERVE_BENCH_FIELDS)} serve bench fields"
     )

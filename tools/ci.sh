@@ -26,6 +26,11 @@
 #      slowdowns, not noise. See docs/PERFORMANCE.md. Serve baselines
 #      (BENCH_serve_*.json, including decision_latency_p99_ms) gate the
 #      same way when passed to --compare.
+#   7. het smoke               — `repro bench --compare` of the tiny
+#      mixed-generation scenario against its checked-in baseline
+#      (benchmarks/baselines/BENCH_het_tiny.json): all simulated
+#      metrics are bit-exact anchors, including the
+#      max-sum >= max-min >= fifo aggregate-throughput ordering.
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -51,3 +56,7 @@ python tools/obs_smoke.py
 echo "== perf smoke (bench --compare) =="
 python -m repro bench --backend fallback --no-write --threshold 3.0 \
     --compare benchmarks/baselines/BENCH_fluid_tiny.json
+
+echo "== het smoke (bench --compare) =="
+python -m repro bench --backend fallback --no-write --threshold 3.0 \
+    --compare benchmarks/baselines/BENCH_het_tiny.json
