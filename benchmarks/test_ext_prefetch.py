@@ -39,7 +39,7 @@ def burst_trace():
                 "vlad",
                 synthetic_images(f"video-{i}", size_mb=units.tb(0.3)),
                 num_gpus=1,
-                duration_at_ideal_s=5 * 3600.0,
+                duration_at_ideal_s=units.hours(5),
             )
         )
     for i in range(4):
@@ -78,7 +78,7 @@ def test_ext_prefetch_ablation(benchmark, report):
             for r in result.finished_records()
             if r.job_id.startswith("resnet")
         ]
-        return sum(waits) / len(waits) / 60.0
+        return units.seconds_to_minutes(sum(waits) / len(waits))
 
     rows = [
         {

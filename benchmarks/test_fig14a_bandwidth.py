@@ -44,6 +44,9 @@ def test_fig14a_bandwidth_sweep(benchmark, report):
         gains[bandwidth] = alluxio / silod
         rows.append(
             {
+                # Decimal GB/s for the axis label, matching the paper's
+                # figure; not the binary repro.units convention.
+                # lint: disable=UNI001
                 "bandwidth (GB/s, 400-GPU equiv)": bandwidth / SCALE / 1000,
                 "SiloD JCT (min)": silod,
                 "Alluxio JCT (min)": alluxio,

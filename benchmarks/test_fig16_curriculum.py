@@ -7,6 +7,7 @@ the same JCT (~367 minutes in the paper for both 50k and 75k steps).
 
 import pytest
 
+from repro import units
 from repro.analysis.tables import render_table
 from repro.cluster.dataset import Dataset
 from repro.workloads.curriculum import (
@@ -49,7 +50,9 @@ def test_fig16_curriculum_uniform_vs_lru(benchmark, report):
         {
             "step size": f"{step // 1000}k",
             "cache": policy,
-            "JCT (min)": results[(step, policy)].jct_s / 60.0,
+            "JCT (min)": units.seconds_to_minutes(
+                results[(step, policy)].jct_s
+            ),
             "hit ratio": results[(step, policy)].hit_ratio,
         }
         for step in STEPS

@@ -5,6 +5,7 @@ next epoch; the paper measures that on average over 91.7% of cached data
 is effective, so policies may safely ignore the effect.
 """
 
+from repro import units
 from repro.analysis.tables import render_series
 from benchmarks.conftest import run_cell
 
@@ -25,7 +26,7 @@ def test_fig8_effective_cache_fraction(benchmark, report):
     )
     series = [
         {
-            "min": round(s.time_s / 60.0),
+            "min": round(units.seconds_to_minutes(s.time_s)),
             "effective_%": 100.0 * s.effective_cache_mb / s.resident_cache_mb,
         }
         for s in result.timeline

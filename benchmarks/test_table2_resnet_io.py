@@ -1,5 +1,7 @@
 """Table 2: ResNet-50 mixed-precision training speed and IO demand."""
 
+import pytest
+
 from repro.analysis.tables import render_table
 from repro.cluster.hardware import RESNET50_TABLE2
 
@@ -21,5 +23,5 @@ def test_table2_resnet50_io_demands(benchmark, report):
     )
     by_gpu = {r["GPU"]: r for r in rows}
     # 8xA100 demands ~1.9 GB/s of data loading — the motivating number.
-    assert by_gpu["8xA100"]["IO (MB/s)"] == 1923.0
-    assert by_gpu["1xV100"]["IO (MB/s)"] == 114.0
+    assert by_gpu["8xA100"]["IO (MB/s)"] == pytest.approx(1923.0)
+    assert by_gpu["1xV100"]["IO (MB/s)"] == pytest.approx(114.0)

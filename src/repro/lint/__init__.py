@@ -24,8 +24,12 @@ empty baseline.
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.cache import IndexCache, default_cache_path
+from repro.lint.callgraph import CallGraph
 from repro.lint.engine import (
     LintPass,
+    ProjectIndex,
+    ProjectPass,
     SourceFile,
     default_target,
     discover_files,
@@ -33,16 +37,26 @@ from repro.lint.engine import (
 )
 from repro.lint.findings import RULES, Finding
 from repro.lint.passes import ALL_PASSES, build_passes
+from repro.lint.sarif import to_sarif, validate_min_sarif
+from repro.lint.symbols import SymbolTable
 
 __all__ = [
     "ALL_PASSES",
     "Baseline",
+    "CallGraph",
     "Finding",
+    "IndexCache",
     "LintPass",
+    "ProjectIndex",
+    "ProjectPass",
     "RULES",
     "SourceFile",
+    "SymbolTable",
     "build_passes",
+    "default_cache_path",
     "default_target",
     "discover_files",
     "lint_paths",
+    "to_sarif",
+    "validate_min_sarif",
 ]

@@ -1,9 +1,13 @@
 """The ``repro lint`` subcommand.
 
-Wires the engine, pass registry, and baseline into ``python -m repro
-lint``. Exit code 0 means clean (after suppressions and the baseline);
-1 means new findings — and, under ``--strict``, also a stale baseline
-entry, so CI can guarantee the baseline only ever shrinks.
+Wires the engine, pass registry, baseline, and index cache into
+``python -m repro lint``. Exit code 0 means clean (after suppressions
+and the baseline); 1 means new findings — and, under ``--strict``, also
+a stale baseline entry, so CI can guarantee the baseline only ever
+shrinks. ``--format sarif`` prints a SARIF 2.1.0 log for code hosts,
+``--explain RULE`` prints the long-form rationale a finding's one-liner
+cannot carry, and the whole-program phase is memoized in
+``.lint_cache.json`` (disable with ``--no-cache``).
 """
 
 from __future__ import annotations
@@ -11,15 +15,28 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
-from typing import List
+from typing import Dict, List
 
 from repro.lint.baseline import Baseline
+from repro.lint.cache import IndexCache, default_cache_path
 from repro.lint.engine import default_target, lint_paths, repo_root
 from repro.lint.findings import RULES, Finding
 from repro.lint.passes import build_passes
 
 #: Default baseline location, relative to the repository root.
 DEFAULT_BASELINE = Path("tools") / "lint_baseline.json"
+
+#: Explain-docs for findings the engine itself emits (no pass owns them).
+_ENGINE_DOCS = {
+    "PAR001": (
+        "The engine could not parse this file as Python source\n"
+        "(SyntaxError or undecodable bytes). The file is reported once\n"
+        "and skipped, so one broken file cannot hide every other\n"
+        "diagnostic in the run; the finding clears when the file\n"
+        "parses again. PAR001 cannot be suppressed inline (comments in\n"
+        "an unparseable file are unreachable) but can be baselined."
+    ),
+}
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -31,7 +48,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="output format (default text)",
     )
@@ -41,7 +58,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PASS|RULE",
         help="run only the named passes or rule prefixes "
-        "(e.g. determinism UNI001)",
+        "(e.g. determinism UNI001 XDET)",
     )
     parser.add_argument(
         "--baseline",
@@ -65,6 +82,17 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print the long-form explanation of one rule and exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the whole-program index cache (.lint_cache.json)",
+    )
     parser.set_defaults(func=cmd_lint)
 
 
@@ -72,6 +100,27 @@ def _baseline_path(args: argparse.Namespace) -> Path:
     if args.baseline is not None:
         return Path(args.baseline)
     return repo_root() / DEFAULT_BASELINE
+
+
+def _explain_docs() -> Dict[str, str]:
+    """Rule id -> long-form doc, gathered from every shipped pass."""
+    docs = dict(_ENGINE_DOCS)
+    for instance in build_passes(None):
+        docs.update(instance.docs)
+    return docs
+
+
+def _cmd_explain(rule: str) -> int:
+    docs = _explain_docs()
+    doc = docs.get(rule)
+    if doc is None:
+        known = ", ".join(sorted(RULES))
+        print(f"error: unknown rule {rule!r} (known: {known})")
+        return 2
+    print(f"{rule}: {RULES.get(rule, '')}")
+    print()
+    print(doc)
+    return 0
 
 
 def _render_text(
@@ -98,6 +147,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for rule, description in sorted(RULES.items()):
             print(f"{rule:<{width}}  {description}")
         return 0
+    if args.explain is not None:
+        return _cmd_explain(args.explain)
     try:
         passes = build_passes(args.select)
     except ValueError as exc:
@@ -108,7 +159,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if missing:
         print(f"error: no such path(s): {[str(p) for p in missing]}")
         return 2
-    findings = lint_paths(paths, passes)
+    cache = None if args.no_cache else IndexCache(default_cache_path())
+    stats: Dict[str, int] = {}
+    findings = lint_paths(paths, passes, cache=cache, stats=stats)
     baseline_path = _baseline_path(args)
     if args.write_baseline:
         Baseline.save(baseline_path, findings)
@@ -118,13 +171,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     baseline = Baseline.load(baseline_path)
     new, stale = baseline.apply(findings)
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        print(json.dumps(to_sarif(new), indent=2))
+    elif args.format == "json":
         print(
             json.dumps(
                 {
                     "findings": [f.to_dict() for f in new],
                     "baselined": len(findings) - len(new),
                     "stale_baseline": [list(key) for key in stale],
+                    "unresolved_calls": stats.get("unresolved_calls"),
                 },
                 indent=2,
             )

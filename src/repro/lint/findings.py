@@ -15,7 +15,9 @@ from typing import Dict, Tuple
 #: Every rule id with its one-line description, grouped by pass prefix.
 #: ``DET`` — determinism, ``UNI`` — units, ``FLT`` — float equality,
 #: ``OBS`` — event-schema conformance, ``POL`` — policy interface,
-#: ``PAR`` — the engine's own parse-failure diagnostic.
+#: ``PERF`` — vectorization, ``PAR`` — the engine's own parse-failure
+#: diagnostic, and the whole-program rules ``XDET``/``XUNI``/``XOBS``
+#: (cross-module determinism taint, unit inference, emission scoping).
 RULES: Dict[str, str] = {
     "PAR001": "file could not be parsed as Python source",
     "DET001": "unseeded RNG constructor (random.Random() / "
@@ -52,6 +54,18 @@ RULES: Dict[str, str] = {
     "scores (ScheduleContext.gen_scores)",
     "PERF001": "per-item Python loop over cache state in a module that "
     "imports the vectorized helpers (use the store's bulk APIs)",
+    "XDET001": "wall-clock read reaches an event emission, policy score, "
+    "or simulator-state mutation through the call graph",
+    "XDET002": "ambient RNG state (unseeded constructor, global random.*, "
+    "id()) reaches emitted/recorded state through the call graph",
+    "XDET003": "set-iteration order reaches emitted/recorded state "
+    "through the call graph",
+    "XUNI001": "mixed-unit arithmetic/comparison or suffix-mismatched "
+    "assignment (units inferred across project calls)",
+    "XUNI002": "argument's inferred unit does not match the callee "
+    "parameter's declared unit (suffix or repro.units signature)",
+    "XOBS001": "out-of-scope caller of a helper that directly emits a "
+    "scope-restricted event (the OBS004/OBS005 wrapper loophole)",
 }
 
 

@@ -1,48 +1,56 @@
 """The pass registry.
 
 Every shipped pass is listed in :data:`ALL_PASSES`; ``build_passes``
-instantiates the selection the CLI asked for. Adding a pass is three
-steps (see ``docs/LINT.md``): write a :class:`~repro.lint.engine.LintPass`
-subclass in a new module here, register its rule ids in
-:data:`repro.lint.findings.RULES`, and append the class to
-:data:`ALL_PASSES`.
+instantiates the selection the CLI asked for. The registry mixes
+per-file :class:`~repro.lint.engine.LintPass` and whole-program
+:class:`~repro.lint.engine.ProjectPass` subclasses — the engine
+partitions them into its two phases. Adding a pass is three steps (see
+``docs/LINT.md``): write the pass class in a new module here, register
+its rule ids in :data:`repro.lint.findings.RULES`, and append the class
+to :data:`ALL_PASSES`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Type
+from typing import List, Optional, Sequence
 
-from repro.lint.engine import LintPass
 from repro.lint.passes.determinism import DeterminismPass
 from repro.lint.passes.floateq import FloatEqualityPass
 from repro.lint.passes.obs_schema import ObsSchemaPass
 from repro.lint.passes.perf import PerfPass
 from repro.lint.passes.policy import PolicyConformancePass
 from repro.lint.passes.units import UnitsPass
+from repro.lint.passes.xdet import CrossDeterminismPass
+from repro.lint.passes.xobs import CrossObsScopePass
+from repro.lint.passes.xuni import CrossUnitsPass
 
-#: Every shipped pass, in report order.
-ALL_PASSES: Sequence[Type[LintPass]] = (
+#: Every shipped pass, in report order: per-file first, then the
+#: whole-program (phase 2) passes.
+ALL_PASSES: Sequence[type] = (
     DeterminismPass,
     UnitsPass,
     FloatEqualityPass,
     ObsSchemaPass,
     PolicyConformancePass,
     PerfPass,
+    CrossDeterminismPass,
+    CrossUnitsPass,
+    CrossObsScopePass,
 )
 
 
 def build_passes(
     select: Optional[Sequence[str]] = None,
-) -> List[LintPass]:
+) -> List[object]:
     """Instantiate the selected passes (all of them by default).
 
-    ``select`` filters by pass name (``determinism``, ``units``, ...)
-    or by rule-id prefix (``DET``, ``UNI001``). Unknown selectors raise
-    ``ValueError`` so typos fail loudly.
+    ``select`` filters by pass name (``determinism``, ``xdet``, ...)
+    or by rule-id prefix (``DET``, ``UNI001``, ``XOBS``). Unknown
+    selectors raise ``ValueError`` so typos fail loudly.
     """
     if not select:
         return [cls() for cls in ALL_PASSES]
-    chosen: List[LintPass] = []
+    chosen: List[object] = []
     unmatched = list(select)
     for cls in ALL_PASSES:
         instance = cls()

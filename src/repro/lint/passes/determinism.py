@@ -80,6 +80,42 @@ class DeterminismPass(LintPass):
     name = "determinism"
     rules = ("DET001", "DET002", "DET003", "DET004", "DET005")
 
+    docs = {
+        "DET001": (
+            "random.Random() / np.random.default_rng() with no\n"
+            "argument seeds from the OS, so two runs of the simulator\n"
+            "diverge immediately. Pass the experiment seed explicitly;\n"
+            "every public entry point already threads one."
+        ),
+        "DET002": (
+            "Module-level random.* calls (and `from random import\n"
+            "shuffle`-style imports) share one interpreter-global RNG,\n"
+            "so unrelated callers and test orderings perturb each\n"
+            "other's streams. Thread a seeded random.Random instance\n"
+            "through the call chain instead."
+        ),
+        "DET003": (
+            "time.time / perf_counter / monotonic / datetime.now read\n"
+            "the wall clock, which differs run to run. Simulation\n"
+            "logic must derive every timestamp from the event clock;\n"
+            "real-time measurement code (benchmark harnesses, the\n"
+            "serve wall-clock driver) suppresses the line with a\n"
+            "justification."
+        ),
+        "DET004": (
+            "Iterating a set literal or set(...) value: str/bytes\n"
+            "hashing is salted per process, so element order — and\n"
+            "everything downstream of it — changes across runs. Use a\n"
+            "tuple/list, or wrap in sorted(...)."
+        ),
+        "DET005": (
+            "Builtin hash() is salted per process for str/bytes (see\n"
+            "PYTHONHASHSEED), so hash-derived values are not\n"
+            "reproducible. Use a stable digest such as zlib.crc32, or\n"
+            "a stable sort key such as repr."
+        ),
+    }
+
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan every call / import / loop in the file."""
         findings: List[Finding] = []

@@ -54,6 +54,18 @@ class FloatEqualityPass(LintPass):
     name = "floateq"
     rules = ("FLT001",)
 
+    docs = {
+        "FLT001": (
+            "== / != between float-typed expressions — a float\n"
+            "literal, a name with a float-unit suffix (_s, _mb, _mbps,\n"
+            "_ms, _ratio), or a known clock name. Accumulated floats\n"
+            "make exact equality silently 'never true', or true on one\n"
+            "simulator and false on the other. Compare with an\n"
+            "explicit tolerance (abs(a - b) < 1e-9, pytest.approx) or\n"
+            "restructure to avoid the comparison."
+        ),
+    }
+
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan every comparison chain in the file."""
         findings: List[Finding] = []

@@ -76,6 +76,44 @@ class ObsSchemaPass(LintPass):
     name = "obs-schema"
     rules = ("OBS001", "OBS002", "OBS003", "OBS004", "OBS005")
 
+    docs = {
+        "OBS001": (
+            "An emit(...) whose event type is not declared in\n"
+            "repro.obs.events.EVENT_FIELDS. Declare the type (and its\n"
+            "fields) in the schema and document it in\n"
+            "docs/OBSERVABILITY.md before emitting it."
+        ),
+        "OBS002": (
+            "An emit (or typed tracer helper call) whose keyword\n"
+            "fields do not match the declared field set for the event\n"
+            "type — missing or extra fields. The schema in\n"
+            "repro.obs.events is the contract; change it and the docs\n"
+            "together, not the call site alone."
+        ),
+        "OBS003": (
+            "EVENT_TYPES and EVENT_FIELDS inside repro/obs/events.py\n"
+            "disagree about which event types exist. The two\n"
+            "declarations must list exactly the same types."
+        ),
+        "OBS004": (
+            "A service-lifecycle event (SERVICE_TYPES) emitted outside\n"
+            "repro/serve/. Those events narrate the online service's\n"
+            "life (start/stop, admission rejections, clock changes); a\n"
+            "simulator emitting them would let a batch run masquerade\n"
+            "as an online one. See docs/SERVE.md. XOBS001 extends this\n"
+            "check across call edges."
+        ),
+        "OBS005": (
+            "A simulator-scoped event (SIMULATOR_SCOPED_TYPES:\n"
+            "decision provenance, SLO tracking) emitted outside\n"
+            "repro/sim/ and the obs modules that implement the\n"
+            "emission. Provenance must come from the one simulator\n"
+            "code path batch and serve share, or the two event streams\n"
+            "fork. See docs/OBSERVABILITY.md. XOBS001 extends this\n"
+            "check across call edges."
+        ),
+    }
+
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan emit calls; self-check the schema module itself."""
         events = _schema()

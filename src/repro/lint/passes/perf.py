@@ -104,6 +104,19 @@ class PerfPass(LintPass):
     name = "perf"
     rules = ("PERF001",)
 
+    docs = {
+        "PERF001": (
+            "A for-loop over cache-state keys (store.keys() /\n"
+            "stale_first_keys() / items()) whose body calls per-key\n"
+            "scalar accessors, in a module that imports the vectorized\n"
+            "backend helpers. That re-introduces the O(keys)-per-event\n"
+            "scans the vectorization campaign removed; use the store's\n"
+            "bulk APIs (apply_targets, total_resident_mb, masked\n"
+            "sweeps). Deliberate rare-path scans suppress the line\n"
+            "with a one-line justification."
+        ),
+    }
+
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan every ``for`` loop once the module opts into the backend."""
         if not _imports_vector_helpers(src.tree):

@@ -60,6 +60,34 @@ class PolicyConformancePass(LintPass):
     name = "policy"
     rules = ("POL001", "POL002", "POL003", "POL004")
 
+    docs = {
+        "POL001": (
+            "A SchedulingPolicy subclass that neither defines nor\n"
+            "locally inherits schedule() and a `name` attribute.\n"
+            "Policies compose (Gavel-style) only when every one\n"
+            "implements the full interface."
+        ),
+        "POL002": (
+            "Policy code imports repro.sim (simulator internals).\n"
+            "Policies must see the cluster only through\n"
+            "ScheduleContext; importing a simulator couples the policy\n"
+            "to one backend and breaks the batch/serve equivalence."
+        ),
+        "POL003": (
+            "Policy code reads another object's _private attribute\n"
+            "(receiver is not self/cls). Reach-through makes the\n"
+            "private state load-bearing; add a public accessor to the\n"
+            "interface instead."
+        ),
+        "POL004": (
+            "A policy declaring heterogeneity_aware = True never\n"
+            "references gen_scores. Heterogeneity-aware policies must\n"
+            "publish per-generation compute bounds through\n"
+            "ScheduleContext.gen_scores so decision provenance\n"
+            "(decision_job.f_star_gen_mbps) can explain placements."
+        ),
+    }
+
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan the module if it is policy code; no-op otherwise."""
         classes: Dict[str, ast.ClassDef] = {

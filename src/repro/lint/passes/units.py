@@ -87,6 +87,25 @@ class UnitsPass(LintPass):
     name = "units"
     rules = ("UNI001", "UNI002")
 
+    docs = {
+        "UNI001": (
+            "A multiplication/division by a known unit-conversion\n"
+            "constant (1024, 1024**2, 125, 60.0, 3600.0, 86400.0,\n"
+            "604800.0, 1000.0, / 8) outside repro/units.py. Bare\n"
+            "conversion factors are ungreppable and drift; use the\n"
+            "named helper (units.gb, units.gbps, units.hours,\n"
+            "units.seconds_to_minutes, ...) so each conversion has one\n"
+            "home."
+        ),
+        "UNI002": (
+            "A public function parameter annotated float whose name\n"
+            "ends in a non-canonical unit suffix (_gb, _gbps, _ms,\n"
+            "_min, _hours, ...). The internal convention is MB / MB/s\n"
+            "/ seconds; convert at the boundary with a repro.units\n"
+            "helper and pass canonical units through the API."
+        ),
+    }
+
     def run(self, src: SourceFile) -> List[Finding]:
         """Scan binary operations and public function signatures."""
         if _is_units_module(src):

@@ -1,0 +1,327 @@
+"""Cross-module determinism taint: entropy must not reach the record.
+
+The per-file determinism rules (``DET001``–``DET005``) flag entropy
+*sources* wherever they appear, but a source wrapped in a helper and
+*consumed* three calls away is a worse bug: the wall-clock read happens
+in a utility module, the value lands in a policy score or an emitted
+event, and the two simulators stop being bit-identical without any one
+file looking wrong. ``XDET001``–``XDET003`` are taint analyses over the
+project call graph:
+
+* **sources** — wall-clock reads (``XDET001``), unseeded/global RNG
+  state and ``id()`` (``XDET002``), and set-iteration order
+  (``XDET003``);
+* **sinks** — event emission (``tracer.emit`` / typed tracer helpers),
+  decision-provenance helpers (``repro.obs.prov``), policy-score
+  publication (``ScheduleContext.job_scores`` / ``gen_scores``), and
+  simulator-state mutators (``apply_targets`` / ``set_resident_mb`` /
+  ``set_target_mb`` / ``reallocate``);
+* **finding** — a function containing a sink can reach, through one or
+  more *resolved* call edges, a function containing a source of the
+  category. The message reports the full source->sink call chain.
+
+Granularity is the function: a call to an entropy-tainted function is
+assumed to let the entropy reach anything the caller does. That
+over-approximates single functions (so a source and sink in the *same*
+function is left to the per-file rules) and under-approximates
+unresolved calls (the call graph's explicit soundness gap).
+
+Suppression is per *site* and per *edge*: a source whose line already
+suppresses its per-file twin rule (``DET003`` for wall-clock, ...) or
+the XDET rule is sanctioned and taints nothing, and a chain is dropped
+when any call edge on it carries ``# lint: disable=XDET00x``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.astutil import call_name
+from repro.lint.callgraph import iter_contexts
+from repro.lint.engine import Finding, ProjectIndex, ProjectPass, SourceFile
+from repro.lint.passes import determinism as det
+from repro.lint.passes.obs_schema import _receiver_is_tracer
+
+#: Longest source->sink chain the search follows.
+_MAX_DEPTH = 15
+
+#: Taint category -> (XDET rule, human description, per-file twin rules
+#: whose suppression sanctions the source).
+_CATEGORIES = {
+    "wall_clock": (
+        "XDET001",
+        "wall-clock read",
+        ("DET003",),
+    ),
+    "rng": (
+        "XDET002",
+        "ambient RNG state",
+        ("DET001", "DET002"),
+    ),
+    "iter_order": (
+        "XDET003",
+        "set-iteration order",
+        ("DET004",),
+    ),
+}
+
+#: Attribute names whose call mutates simulator/cache state.
+_STATE_MUTATORS = {
+    "apply_targets",
+    "set_resident_mb",
+    "set_target_mb",
+    "reallocate",
+}
+
+#: Attribute names that publish policy scores into ScheduleContext.
+_SCORE_TARGETS = {"job_scores", "gen_scores"}
+
+#: Qualified-name prefix of the decision-provenance helpers.
+_PROV_PREFIX = "repro.obs.prov."
+
+
+class _FunctionFacts:
+    """Sources and sinks found directly inside one context."""
+
+    def __init__(self, qname: str, src: SourceFile) -> None:
+        self.qname = qname
+        self.src = src
+        #: category -> [(line, description)]
+        self.sources: Dict[str, List[Tuple[int, str]]] = {}
+        #: [(sink kind, line)]
+        self.sinks: List[Tuple[str, int]] = []
+
+
+class CrossDeterminismPass(ProjectPass):
+    """Taint-style determinism: sources must not reach recorded state."""
+
+    name = "xdet"
+    rules = ("XDET001", "XDET002", "XDET003")
+
+    docs = {
+        "XDET001": (
+            "A wall-clock read (time.time / perf_counter / monotonic /\n"
+            "datetime.now) in one function flows, through one or more\n"
+            "resolved call edges, into a function that emits events,\n"
+            "publishes policy scores, or mutates simulator state. The\n"
+            "per-file DET003 only sees the read; this rule sees the\n"
+            "consumption. The finding message prints the full\n"
+            "source->sink call chain; suppress the source line, the\n"
+            "sink line, or any call edge on the chain with\n"
+            "# lint: disable=XDET001 plus a justification. A source\n"
+            "already carrying a DET003 suppression is sanctioned and\n"
+            "taints nothing."
+        ),
+        "XDET002": (
+            "Unseeded RNG state (random.Random() with no seed, global\n"
+            "random.* calls) or the per-process id() builtin reaches an\n"
+            "event emission, policy score, or simulator-state mutation\n"
+            "through the call graph. Same chain reporting and\n"
+            "suppression rules as XDET001; DET001/DET002 suppressions\n"
+            "at the source sanction it."
+        ),
+        "XDET003": (
+            "Iteration over a set (hash-salted order per process) in a\n"
+            "helper feeds an event emission, policy score, or\n"
+            "simulator-state mutation downstream. Same chain reporting\n"
+            "and suppression rules as XDET001; a DET004 suppression at\n"
+            "the source sanctions it."
+        ),
+    }
+
+    def run_project(self, index: ProjectIndex) -> List[Finding]:
+        facts = _collect_facts(index)
+        findings: List[Finding] = []
+        for fact in facts.values():
+            if not fact.sinks:
+                continue
+            for category, (rule, desc, _twins) in _CATEGORIES.items():
+                chain = _find_chain(index, facts, fact, category, rule)
+                if chain is None:
+                    continue
+                source_fact, source_line, source_desc, path = chain
+                sink_kind, sink_line = fact.sinks[0]
+                rendered = _render_chain(fact, path, index)
+                findings.append(
+                    Finding(
+                        path=fact.src.rel_path,
+                        line=sink_line,
+                        rule=rule,
+                        message=(
+                            f"{desc} ({source_desc}) at "
+                            f"{source_fact.src.rel_path}:{source_line} "
+                            f"reaches {sink_kind} in {_short(fact.qname)} "
+                            f"via call chain {rendered}"
+                        ),
+                    )
+                )
+        return findings
+
+
+def _collect_facts(index: ProjectIndex) -> Dict[str, "_FunctionFacts"]:
+    from repro.obs import events
+
+    facts: Dict[str, _FunctionFacts] = {}
+    for mod in index.table.modules.values():
+        for qname, _class_qname, node in iter_contexts(
+            mod.name, mod.src
+        ):
+            fact = facts.setdefault(
+                qname, _FunctionFacts(qname, mod.src)
+            )
+            _scan_context(fact, node, events)
+    # Calls into the provenance helpers are sinks at the caller.
+    for edge in index.graph.edges:
+        if edge.callee.startswith(_PROV_PREFIX):
+            fact = facts.get(edge.caller)
+            if fact is not None:
+                fact.sinks.append(("decision provenance", edge.line))
+    for fact in facts.values():
+        fact.sinks.sort(key=lambda item: item[1])
+    return facts
+
+
+def _scan_context(
+    fact: _FunctionFacts, node: ast.AST, events
+) -> None:
+    src = fact.src
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            _scan_call(fact, child, events)
+        elif isinstance(child, (ast.For, ast.comprehension)):
+            line = _set_iteration_line(child)
+            if line is not None:
+                _add_source(
+                    fact, "iter_order", line, "set iteration"
+                )
+        elif isinstance(child, (ast.Assign, ast.AugAssign)):
+            targets = (
+                child.targets
+                if isinstance(child, ast.Assign)
+                else [child.target]
+            )
+            for target in targets:
+                if _is_score_target(target):
+                    fact.sinks.append(
+                        ("policy score", child.lineno)
+                    )
+    _ = src  # suppression checks happen in _add_source
+
+
+def _scan_call(fact: _FunctionFacts, node: ast.Call, events) -> None:
+    name = call_name(node)
+    if name is not None:
+        parts = name.split(".")
+        if (
+            name in det._RNG_CONSTRUCTORS
+            and not node.args
+            and not node.keywords
+        ):
+            _add_source(fact, "rng", node.lineno, f"{name}()")
+        elif (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in det._GLOBAL_RANDOM_FUNCS
+        ):
+            _add_source(fact, "rng", node.lineno, f"{name}()")
+        elif name == "id" and len(node.args) == 1:
+            _add_source(fact, "rng", node.lineno, "id()")
+        if name in det._WALL_CLOCK:
+            _add_source(fact, "wall_clock", node.lineno, f"{name}()")
+        elif parts[-1] in det._DATETIME_NOW_ATTRS and any(
+            p in ("datetime", "date") for p in parts[:-1]
+        ):
+            _add_source(fact, "wall_clock", node.lineno, f"{name}()")
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "emit":
+            fact.sinks.append(("event emission", node.lineno))
+        elif func.attr in events.EVENT_FIELDS and _receiver_is_tracer(
+            func
+        ):
+            fact.sinks.append(("event emission", node.lineno))
+        elif func.attr in _STATE_MUTATORS:
+            fact.sinks.append(("simulator state", node.lineno))
+
+
+def _set_iteration_line(node) -> Optional[int]:
+    iterable = node.iter
+    if isinstance(iterable, (ast.Set, ast.SetComp)):
+        return iterable.lineno
+    if isinstance(iterable, ast.Call) and call_name(iterable) in (
+        "set",
+        "frozenset",
+    ):
+        return iterable.lineno
+    return None
+
+
+def _is_score_target(target: ast.AST) -> bool:
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return (
+        isinstance(target, ast.Attribute)
+        and target.attr in _SCORE_TARGETS
+    )
+
+
+def _add_source(
+    fact: _FunctionFacts, category: str, line: int, desc: str
+) -> None:
+    rule, _desc, twins = _CATEGORIES[category]
+    for sanction in (rule,) + twins:
+        if fact.src.is_suppressed(line, sanction):
+            return  # a human already blessed this source.
+    fact.sources.setdefault(category, []).append((line, desc))
+
+
+def _find_chain(
+    index: ProjectIndex,
+    facts: Dict[str, "_FunctionFacts"],
+    sink_fact: "_FunctionFacts",
+    category: str,
+    rule: str,
+):
+    """Shortest resolved call chain from the sink's function to a source.
+
+    Returns ``(source_fact, source_line, source_desc, edges)`` or
+    ``None``. The chain must have at least one edge: a source inside
+    the sink's own function is the per-file passes' business.
+    """
+    queue = deque([(sink_fact.qname, [])])
+    seen = {sink_fact.qname}
+    while queue:
+        qname, path = queue.popleft()
+        if len(path) >= _MAX_DEPTH:
+            continue
+        for edge in index.graph.callees(qname):
+            if edge.callee in seen:
+                continue
+            if index.is_suppressed(edge.rel_path, edge.line, rule):
+                continue  # per-edge suppression cuts the chain.
+            seen.add(edge.callee)
+            next_path = path + [edge]
+            target = facts.get(edge.callee)
+            if target is not None and target.sources.get(category):
+                line, desc = target.sources[category][0]
+                return target, line, desc, next_path
+            queue.append((edge.callee, next_path))
+    return None
+
+
+def _short(qname: str) -> str:
+    """Drop the shared ``repro.`` prefix for readable chain output."""
+    return qname[6:] if qname.startswith("repro.") else qname
+
+
+def _render_chain(
+    sink_fact: "_FunctionFacts", edges: Sequence, index: ProjectIndex
+) -> str:
+    hops = [_short(sink_fact.qname)]
+    for edge in edges:
+        hops.append(
+            f"{_short(edge.callee)} ({edge.rel_path}:{edge.line})"
+        )
+    return " -> ".join(hops)

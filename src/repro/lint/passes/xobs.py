@@ -1,0 +1,146 @@
+"""Call-graph-verified event scoping: the wrapper loophole, closed.
+
+``OBS004``/``OBS005`` check where the *emit line* lives: service
+lifecycle events must be emitted from ``repro/serve/``, simulator-scoped
+events from ``repro/sim/`` (plus the obs modules that implement the
+emission API). That check has a one-line loophole: put the emit in a
+helper *inside* the allowed scope and call the helper from outside it —
+the emit line is clean, but the event still originates from the wrong
+subsystem.
+
+``XOBS001`` closes it with the call graph: for every resolved call edge
+whose callee *directly* contains a scoped emission (and whose own file
+is inside the allowed scope — otherwise OBS004/OBS005 already fired),
+the caller's file must also be inside that scope. The check is
+deliberately one edge deep: transitively, *everything* reaches the
+emission helpers (the serve engine constructs the simulators that emit
+provenance — that is the designed architecture, not a violation), so
+only the direct wrapper call is evidence of scope laundering.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.callgraph import iter_contexts
+from repro.lint.engine import Finding, ProjectIndex, ProjectPass
+from repro.lint.passes.obs_schema import ObsSchemaPass, _receiver_is_tracer
+
+#: Borrow the per-file pass's event-type resolution so both agree on
+#: what counts as a scoped emission.
+_OBS = ObsSchemaPass()
+
+
+def _service_scope(rel: str) -> bool:
+    return "repro/serve/" in rel or rel.endswith("obs/tracer.py")
+
+
+def _simulator_scope(rel: str) -> bool:
+    return (
+        "repro/sim/" in rel
+        or rel.endswith("obs/tracer.py")
+        or rel.endswith("obs/prov.py")
+        or rel.endswith("obs/slo.py")
+    )
+
+
+#: scope key -> (allowed-path predicate, human description).
+_SCOPES = {
+    "service": (_service_scope, "repro/serve/"),
+    "simulator": (_simulator_scope, "repro/sim/"),
+}
+
+
+class CrossObsScopePass(ProjectPass):
+    """Flag out-of-scope callers of directly-emitting scoped helpers."""
+
+    name = "xobs"
+    rules = ("XOBS001",)
+
+    docs = {
+        "XOBS001": (
+            "A function outside an event scope directly calls a helper\n"
+            "that (a) lives inside the scope and (b) directly emits a\n"
+            "scope-restricted event — service lifecycle events\n"
+            "(OBS004's scope: repro/serve/) or simulator-scoped\n"
+            "provenance/SLO events (OBS005's scope: repro/sim/). The\n"
+            "per-file rules only see the emit line, which is inside the\n"
+            "scope and therefore clean; this rule checks the call edge,\n"
+            "so wrapping the emit in a one-line helper no longer\n"
+            "launders the scope. Only the direct edge is checked:\n"
+            "reaching the emission transitively (the serve engine\n"
+            "driving a simulator) is the designed architecture."
+        ),
+    }
+
+    def run_project(self, index: ProjectIndex) -> List[Finding]:
+        from repro.obs import events
+
+        emitters = _direct_emitters(index, events)
+        findings: List[Finding] = []
+        for edge in index.graph.edges:
+            scoped = emitters.get(edge.callee)
+            if not scoped:
+                continue
+            for scope, etype in sorted(scoped):
+                allowed, home = _SCOPES[scope]
+                if allowed(edge.rel_path):
+                    continue
+                findings.append(
+                    Finding(
+                        path=edge.rel_path,
+                        line=edge.line,
+                        rule="XOBS001",
+                        message=(
+                            f"call into {edge.callee} emits the "
+                            f"{scope}-scoped event {etype!r} on the "
+                            f"caller's behalf; that event belongs to "
+                            f"{home} and wrapping the emit in a helper "
+                            "does not move the scope boundary"
+                        ),
+                    )
+                )
+        return findings
+
+
+def _direct_emitters(
+    index: ProjectIndex, events
+) -> Dict[str, Set[Tuple[str, str]]]:
+    """qname -> {(scope, etype)} for in-scope, directly-emitting functions."""
+    scoped_types = {
+        "service": frozenset(events.SERVICE_TYPES),
+        "simulator": frozenset(events.SIMULATOR_SCOPED_TYPES),
+    }
+    emitters: Dict[str, Set[Tuple[str, str]]] = {}
+    for mod in index.table.modules.values():
+        rel = mod.src.rel_path
+        scopes_here = [
+            scope
+            for scope, (allowed, _home) in _SCOPES.items()
+            if allowed(rel)
+        ]
+        if not scopes_here:
+            continue  # out-of-scope emits are OBS004/OBS005's findings.
+        for qname, _class_qname, node in iter_contexts(mod.name, mod.src):
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                etype = None
+                if func.attr == "emit":
+                    etype = _OBS._resolve_etype(call, events)
+                elif func.attr in events.EVENT_FIELDS and (
+                    _receiver_is_tracer(func)
+                ):
+                    etype = func.attr
+                if etype is None:
+                    continue
+                for scope in scopes_here:
+                    if etype in scoped_types[scope]:
+                        emitters.setdefault(qname, set()).add(
+                            (scope, etype)
+                        )
+    return emitters

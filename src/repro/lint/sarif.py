@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 output for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code hosts and editors ingest for static-analysis results. We
+emit the minimal valid subset — schema/version header, one run, a tool
+driver with the rule catalogue, and one ``result`` per finding with a
+``ruleId``, a ``message.text``, and a single physical location — which
+is exactly what :func:`validate_min_sarif` checks, so the CI smoke test
+and any external consumer agree on the contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.lint.findings import RULES, Finding
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict:
+    """A minimal SARIF 2.1.0 log dict for ``findings``."""
+    rules_used = sorted({f.rule for f in findings})
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "docs/LINT.md",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {
+                                    "text": RULES.get(rule, rule)
+                                },
+                            }
+                            for rule in rules_used
+                        ],
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ],
+    }
+
+
+def validate_min_sarif(doc: dict) -> List[str]:
+    """Problems that make ``doc`` fall short of minimal SARIF 2.1.0.
+
+    Returns an empty list for a conforming log. Checks exactly the
+    properties the spec marks required on the objects we emit: the
+    top-level ``version``, ``runs`` with a ``tool.driver.name`` each,
+    and per-result ``ruleId`` / ``message.text`` / location shape.
+    """
+    problems: List[str] = []
+    if doc.get("version") != _SARIF_VERSION:
+        problems.append(f"version must be {_SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty list"]
+    for i, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str):
+            problems.append(f"runs[{i}].tool.driver.name missing")
+        for j, result in enumerate(run.get("results", [])):
+            where = f"runs[{i}].results[{j}]"
+            if not isinstance(result.get("ruleId"), str):
+                problems.append(f"{where}.ruleId missing")
+            if not isinstance(
+                result.get("message", {}).get("text"), str
+            ):
+                problems.append(f"{where}.message.text missing")
+            for k, loc in enumerate(result.get("locations", [])):
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri")
+                start = phys.get("region", {}).get("startLine")
+                if not isinstance(uri, str):
+                    problems.append(
+                        f"{where}.locations[{k}] artifact uri missing"
+                    )
+                if not isinstance(start, int) or start < 1:
+                    problems.append(
+                        f"{where}.locations[{k}] startLine invalid"
+                    )
+    return problems

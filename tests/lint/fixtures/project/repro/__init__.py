@@ -1,0 +1,7 @@
+"""Fixture package for the whole-program (phase 2) lint tests.
+
+This tree mirrors the real package layout just enough for module
+naming, scoping, and cross-module dataflow to behave as they do in the
+repo: linted with ``display_root`` at ``fixtures/project``, these files
+display as ``repro/...`` paths and index as ``repro.*`` modules.
+"""

@@ -1,0 +1,7 @@
+"""XDET fixture: the entropy source, two call hops from the sink."""
+
+import time
+
+
+def read_clock():
+    return time.time()

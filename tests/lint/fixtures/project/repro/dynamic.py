@@ -1,0 +1,13 @@
+"""Call-graph fixture: calls the table cannot resolve, by design.
+
+``callback()`` and ``registry["key"]()`` must land in the graph's
+explicit unresolved-call category; ``len`` is a proven builtin and
+must not.
+"""
+
+
+def apply(callback, registry):
+    count = len(registry)
+    callback()
+    registry["key"]()
+    return count

@@ -1,0 +1,7 @@
+"""XOBS fixture: out-of-scope caller of the in-scope emitting wrapper."""
+
+from repro.serve import narrate
+
+
+def drive(tracer):
+    narrate.announce(tracer, 0.0)

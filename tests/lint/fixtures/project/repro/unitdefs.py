@@ -1,0 +1,9 @@
+"""XUNI fixture: a helper whose return unit (seconds) must be inferred.
+
+MB divided by MB/s is seconds; the fixpoint exports that unit to the
+callers in ``unituse.py``.
+"""
+
+
+def transfer_time(size_mb, bw_mbps):
+    return size_mb / bw_mbps

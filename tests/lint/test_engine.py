@@ -64,6 +64,49 @@ class TestSuppressions:
         assert len(findings) == 1
         assert findings[0].line == 3
 
+    def test_trailing_disable_covers_the_whole_statement(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "t = (  # lint: disable=DET003\n"
+            "    time.time()\n"
+            ")\n",
+        )
+        assert findings == []
+
+    def test_standalone_disable_covers_the_whole_statement(
+        self, tmp_path
+    ):
+        findings = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "# lint: disable=DET003\n"
+            "t = (\n"
+            "    time.time()\n"
+            ")\n",
+        )
+        assert findings == []
+
+    def test_explanation_may_stack_after_the_disable(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "# lint: disable=DET003\n"
+            "# the wall clock is deliberate: this measures real time\n"
+            "t = time.time()\n",
+        )
+        assert findings == []
+
+    def test_compound_header_does_not_shield_the_block(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "# lint: disable=DET003\n"
+            "if True:\n"
+            "    t = time.time()\n",
+        )
+        assert [f.line for f in findings] == [4]
+
 
 class TestParseErrors:
     def test_syntax_error_yields_par001(self, tmp_path):
@@ -121,6 +164,56 @@ class TestBaseline:
     def test_missing_file_is_empty(self, tmp_path):
         baseline = Baseline.load(tmp_path / "nope.json")
         assert len(baseline) == 0
+
+    def test_duplicate_key_round_trip_keeps_the_count(self, tmp_path):
+        """Two findings sharing a key survive save/load as a multiset."""
+        path = tmp_path / "baseline.json"
+        pair = [self.make_finding(line=3), self.make_finding(line=99)]
+        assert pair[0].key() == pair[1].key()
+        Baseline.save(path, pair)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        new, stale = loaded.apply(pair)
+        assert new == [] and stale == []
+        # A third occurrence exceeds the recorded count: it is new.
+        new, _stale = loaded.apply(pair + [self.make_finding(line=7)])
+        assert len(new) == 1
+
+    def test_par001_can_be_baselined(self, tmp_path, capsys):
+        """A tolerated parse error is absorbed; fixing it goes stale."""
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n")
+        baseline = tmp_path / "b.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(broken),
+                    "--baseline",
+                    str(baseline),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(["lint", str(broken), "--baseline", str(baseline)])
+            == 0
+        )
+        broken.write_text("x = 1\n")
+        assert (
+            main(
+                [
+                    "lint",
+                    str(broken),
+                    "--baseline",
+                    str(baseline),
+                    "--strict",
+                ]
+            )
+            == 1
+        )
+        assert "stale baseline" in capsys.readouterr().out
 
 
 class TestCli:
@@ -208,5 +301,35 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("DET001", "UNI002", "FLT001", "OBS001", "POL003"):
+        for rule in (
+            "DET001",
+            "UNI002",
+            "FLT001",
+            "OBS001",
+            "POL003",
+            "XDET001",
+            "XUNI002",
+            "XOBS001",
+        ):
             assert rule in out
+
+    def test_explain_prints_the_long_doc(self, capsys):
+        assert main(["lint", "--explain", "XDET001"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("XDET001:")
+        assert "call chain" in out
+
+    def test_explain_covers_engine_rules_too(self, capsys):
+        assert main(["lint", "--explain", "PAR001"]) == 0
+        assert "parse" in capsys.readouterr().out
+
+    def test_explain_every_catalogued_rule(self, capsys):
+        from repro.lint.findings import RULES
+
+        for rule in RULES:
+            assert main(["lint", "--explain", rule]) == 0, rule
+        capsys.readouterr()
+
+    def test_explain_unknown_rule_errors(self, capsys):
+        assert main(["lint", "--explain", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().out

@@ -1,0 +1,216 @@
+"""Whole-program passes over the fixture project: XDET, XUNI, XOBS."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import IndexCache, lint_paths
+from repro.lint.engine import ProjectIndex, SourceFile
+from repro.lint.passes.xdet import CrossDeterminismPass
+from repro.lint.passes.xobs import CrossObsScopePass
+from repro.lint.passes.xuni import CrossUnitsPass
+
+pytestmark = pytest.mark.lint
+
+PROJECT = Path(__file__).parent / "fixtures" / "project"
+
+
+def lint_project(passes, **kwargs):
+    return lint_paths(
+        [PROJECT], passes, display_root=PROJECT, **kwargs
+    )
+
+
+def write_tree(tmp_path, sources):
+    for name, text in sources.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return tmp_path
+
+
+#: A minimal taint chain in loose modules: a.helper reads the clock,
+#: b.record emits an event carrying it.
+TAINT_SOURCE = (
+    "import time\n"
+    "\n"
+    "def helper():\n"
+    "    return time.time()\n"
+)
+TAINT_SINK = (
+    "import a\n"
+    "\n"
+    "def record(tracer):\n"
+    "    t = a.helper()\n"
+    '    tracer.emit(0.0, "job_submit", t=t)\n'
+)
+
+
+class TestCrossDeterminism:
+    def test_two_hop_chain_reaches_the_sink(self):
+        findings = lint_project([CrossDeterminismPass()])
+        assert [f.rule for f in findings] == ["XDET001"]
+        finding = findings[0]
+        assert finding.path == "repro/emitter.py"
+        assert "wall-clock read" in finding.message
+        assert "repro/clockmod.py" in finding.message
+        # The full chain is rendered: sink -> hop -> source.
+        assert "emitter.record" in finding.message
+        assert "middle.stamp" in finding.message
+        assert "clockmod.read_clock" in finding.message
+        assert "->" in finding.message
+
+    def test_one_hop_chain(self, tmp_path):
+        write_tree(
+            tmp_path, {"a.py": TAINT_SOURCE, "b.py": TAINT_SINK}
+        )
+        findings = lint_paths(
+            [tmp_path], [CrossDeterminismPass()], display_root=tmp_path
+        )
+        assert [f.rule for f in findings] == ["XDET001"]
+        assert findings[0].path == "b.py"
+
+    def test_suppressed_source_is_sanctioned(self, tmp_path):
+        sanctioned = TAINT_SOURCE.replace(
+            "time.time()", "time.time()  # lint: disable=DET003"
+        )
+        write_tree(
+            tmp_path, {"a.py": sanctioned, "b.py": TAINT_SINK}
+        )
+        findings = lint_paths(
+            [tmp_path], [CrossDeterminismPass()], display_root=tmp_path
+        )
+        assert findings == []
+
+    def test_edge_suppression_cuts_the_chain(self, tmp_path):
+        cut = TAINT_SINK.replace(
+            "t = a.helper()",
+            "t = a.helper()  # lint: disable=XDET001",
+        )
+        write_tree(tmp_path, {"a.py": TAINT_SOURCE, "b.py": cut})
+        findings = lint_paths(
+            [tmp_path], [CrossDeterminismPass()], display_root=tmp_path
+        )
+        assert findings == []
+
+
+class TestCrossUnits:
+    def test_fixture_findings_are_exactly_the_planted_bugs(self):
+        findings = lint_project([CrossUnitsPass()])
+        assert [f.path for f in findings] == ["repro/unituse.py"] * 3
+        by_rule = sorted(f.rule for f in findings)
+        assert by_rule == ["XUNI001", "XUNI002", "XUNI002"]
+
+    def test_return_unit_flows_into_suffix_mismatch(self):
+        findings = lint_project([CrossUnitsPass()])
+        xuni001 = [f for f in findings if f.rule == "XUNI001"]
+        assert len(xuni001) == 1
+        assert "s value assigned" in xuni001[0].message
+        assert "ms" in xuni001[0].message
+
+    def test_param_and_helper_bindings_are_checked(self):
+        findings = lint_project([CrossUnitsPass()])
+        messages = [
+            f.message for f in findings if f.rule == "XUNI002"
+        ]
+        assert any("'size_mb'" in m and "expects MB" in m for m in messages)
+        assert any("units.gb" in m and "expects GB" in m for m in messages)
+
+
+class TestCrossObsScope:
+    def test_wrapper_call_from_outside_the_scope_is_flagged(self):
+        findings = lint_project([CrossObsScopePass()])
+        assert [f.rule for f in findings] == ["XOBS001"]
+        finding = findings[0]
+        assert finding.path == "repro/outside.py"
+        assert "'service_start'" in finding.message
+        assert "repro/serve/" in finding.message
+
+    def test_in_scope_emission_itself_is_not_flagged(self):
+        findings = lint_project([CrossObsScopePass()])
+        assert all(f.path != "repro/serve/narrate.py" for f in findings)
+
+
+class TestSoundnessGap:
+    def test_stats_report_unresolved_calls(self):
+        stats = {}
+        lint_project([CrossDeterminismPass()], stats=stats)
+        # At least dynamic.apply's two opaque calls land in the gap.
+        assert stats["unresolved_calls"] >= 2
+
+    def test_index_attributes_unresolved_to_their_context(self):
+        files = [
+            SourceFile(path, PROJECT)
+            for path in sorted(PROJECT.rglob("*.py"))
+        ]
+        index = ProjectIndex(files)
+        texts = {
+            call.callee_text
+            for call in index.graph.unresolved_in("repro.dynamic.apply")
+        }
+        assert "callback" in texts
+
+    def test_cli_json_surfaces_the_count(self, tmp_path, capsys):
+        code = main(
+            [
+                "lint",
+                str(PROJECT),
+                "--select",
+                "xdet",
+                "--format",
+                "json",
+                "--baseline",
+                str(tmp_path / "b.json"),
+                "--no-cache",
+            ]
+        )
+        assert code == 1  # the planted XDET001 chain.
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["unresolved_calls"] >= 2
+        assert [f["rule"] for f in payload["findings"]] == ["XDET001"]
+
+
+class TestIndexCache:
+    def test_warm_run_replays_findings_and_stats(self, tmp_path):
+        cache = IndexCache(tmp_path / "cache.json")
+        cold_stats, warm_stats = {}, {}
+        cold = lint_project(
+            [CrossDeterminismPass()], cache=cache, stats=cold_stats
+        )
+        assert (cache.misses, cache.hits) == (1, 0)
+        warm = lint_project(
+            [CrossDeterminismPass()], cache=cache, stats=warm_stats
+        )
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert warm == cold
+        assert warm_stats == cold_stats
+
+    def test_any_file_edit_invalidates(self, tmp_path):
+        tree = write_tree(
+            tmp_path / "tree",
+            {"a.py": TAINT_SOURCE, "b.py": TAINT_SINK},
+        )
+        cache = IndexCache(tmp_path / "cache.json")
+        lint_paths(
+            [tree],
+            [CrossDeterminismPass()],
+            display_root=tree,
+            cache=cache,
+        )
+        (tree / "a.py").write_text(TAINT_SOURCE + "\nEXTRA = 1\n")
+        lint_paths(
+            [tree],
+            [CrossDeterminismPass()],
+            display_root=tree,
+            cache=cache,
+        )
+        assert (cache.misses, cache.hits) == (2, 0)
+
+    def test_broken_cache_file_means_cold_run_not_crash(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        cache = IndexCache(cache_path)
+        findings = lint_project([CrossDeterminismPass()], cache=cache)
+        assert [f.rule for f in findings] == ["XDET001"]

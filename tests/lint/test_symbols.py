@@ -1,0 +1,133 @@
+"""Phase-1 symbol table: module naming, aliasing, method resolution."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import SourceFile
+from repro.lint.symbols import SymbolTable, module_name_for
+
+pytestmark = pytest.mark.lint
+
+PROJECT = Path(__file__).parent / "fixtures" / "project"
+
+
+def build_table(tmp_path, sources):
+    files = []
+    for name, text in sources.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        files.append(SourceFile(path, tmp_path))
+    return SymbolTable.build(files)
+
+
+def project_table():
+    files = [
+        SourceFile(path, PROJECT)
+        for path in sorted(PROJECT.rglob("*.py"))
+    ]
+    return SymbolTable.build(files)
+
+
+class TestModuleNaming:
+    def test_walks_init_chain(self):
+        path = PROJECT / "repro" / "serve" / "narrate.py"
+        assert module_name_for(path) == "repro.serve.narrate"
+
+    def test_init_names_the_package(self):
+        path = PROJECT / "repro" / "serve" / "__init__.py"
+        assert module_name_for(path) == "repro.serve"
+
+    def test_loose_script_keeps_bare_stem(self, tmp_path):
+        script = tmp_path / "serve_smoke.py"
+        script.write_text("x = 1\n")
+        assert module_name_for(script) == "serve_smoke"
+
+
+class TestImportAliasing:
+    def test_plain_aliased_and_dotted_imports(self, tmp_path):
+        table = build_table(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import numpy as np\n"
+                    "import os.path\n"
+                    "import json\n"
+                )
+            },
+        )
+        imports = table.modules["mod"].imports
+        assert imports["np"] == "numpy"
+        assert imports["os"] == "os"  # dotted import binds the root.
+        assert imports["json"] == "json"
+
+    def test_dotted_import_with_alias_binds_full_path(self, tmp_path):
+        table = build_table(
+            tmp_path, {"mod.py": "import repro.obs.events as ev\n"}
+        )
+        assert table.modules["mod"].imports["ev"] == "repro.obs.events"
+
+    def test_from_import_alias(self, tmp_path):
+        table = build_table(
+            tmp_path,
+            {"mod.py": "from collections import OrderedDict as OD\n"},
+        )
+        imports = table.modules["mod"].imports
+        assert imports["OD"] == "collections.OrderedDict"
+
+    def test_relative_import_resolves_inside_package(self):
+        table = project_table()
+        imports = table.modules["repro.middle"].imports
+        assert imports["read_clock"] == "repro.clockmod.read_clock"
+        symbol = table.function(
+            table.resolve("repro.middle", "read_clock")
+        )
+        assert symbol is not None
+        assert symbol.qname == "repro.clockmod.read_clock"
+
+
+class TestResolution:
+    def test_dotted_name_through_alias(self):
+        table = project_table()
+        resolved = table.resolve("repro.emitter", "middle.stamp")
+        assert resolved == "repro.middle.stamp"
+        assert table.function(resolved) is not None
+
+    def test_local_definition_resolves_to_own_module(self):
+        table = project_table()
+        resolved = table.resolve("repro.dynamic", "apply")
+        assert resolved == "repro.dynamic.apply"
+
+    def test_unknown_name_is_none_not_a_guess(self):
+        table = project_table()
+        assert table.resolve("repro.emitter", "mystery.thing") is None
+        assert table.resolve("no.such.module", "x") is None
+
+
+class TestMethodResolution:
+    SOURCE = (
+        "class Base:\n"
+        "    def ping(self):\n"
+        "        return 1\n"
+        "\n"
+        "class Child(Base):\n"
+        "    def run(self):\n"
+        "        return self.ping()\n"
+    )
+
+    def test_walks_local_base_chain(self, tmp_path):
+        table = build_table(tmp_path, {"mod.py": self.SOURCE})
+        method = table.resolve_method("mod.Child", "ping")
+        assert method is not None
+        assert method.qname == "mod.Base.ping"
+
+    def test_own_method_wins_over_base(self, tmp_path):
+        table = build_table(tmp_path, {"mod.py": self.SOURCE})
+        method = table.resolve_method("mod.Child", "run")
+        assert method is not None
+        assert method.qname == "mod.Child.run"
+
+    def test_unknown_method_is_none(self, tmp_path):
+        table = build_table(tmp_path, {"mod.py": self.SOURCE})
+        assert table.resolve_method("mod.Child", "missing") is None

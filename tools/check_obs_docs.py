@@ -26,6 +26,11 @@ every service-lifecycle event type and reject reason, and carry a
 ``### `serve_bench_record` `` field table matching
 ``repro.serve.bench.SERVE_BENCH_FIELDS``.
 
+And the linter: the ``| rule | pass | summary |`` catalogue table in
+``docs/LINT.md`` must list exactly the rules in
+``repro.lint.findings.RULES``, each under the pass that owns it in the
+registry (``PAR001`` under the ``engine``).
+
 Run directly (``python tools/check_obs_docs.py``) or via the tier-1
 test ``tests/obs/test_docs_consistency.py``.
 """
@@ -41,9 +46,15 @@ DOC_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 FAULTS_DOC_PATH = REPO_ROOT / "docs" / "FAULTS.md"
 PERF_DOC_PATH = REPO_ROOT / "docs" / "PERFORMANCE.md"
 SERVE_DOC_PATH = REPO_ROOT / "docs" / "SERVE.md"
+LINT_DOC_PATH = REPO_ROOT / "docs" / "LINT.md"
 
 _HEADING = re.compile(r"^### `(?P<name>[a-z_]+)`\s*$")
 _TABLE_ROW = re.compile(r"^\| `(?P<field>[a-z0-9_]+)` \|")
+
+#: A row of the LINT.md rule-catalogue table: | `RULE` | `pass` | ... |
+_LINT_ROW = re.compile(
+    r"^\| `(?P<rule>[A-Z]+\d+)` \| `(?P<pass>[a-z-]+)` \|"
+)
 
 
 def parse_doc_schema(text: str) -> dict:
@@ -248,6 +259,39 @@ def check_serve_doc(
     return problems
 
 
+def check_lint_doc(text: str, rule_owners: dict) -> list:
+    """Drift messages for the docs/LINT.md rule-catalogue table.
+
+    ``rule_owners`` maps every rule id to its owning pass name
+    (``PAR001`` belongs to the ``engine``); the doc's
+    ``| rule | pass | summary |`` table must list exactly those rows.
+    """
+    documented = {}
+    for line in text.splitlines():
+        row = _LINT_ROW.match(line)
+        if row:
+            documented[row.group("rule")] = row.group("pass")
+    problems = []
+    for rule, owner in rule_owners.items():
+        got = documented.get(rule)
+        if got is None:
+            problems.append(
+                f"lint rule {rule!r} has no catalogue row in docs/LINT.md"
+            )
+        elif got != owner:
+            problems.append(
+                f"docs/LINT.md lists {rule!r} under pass {got!r}, "
+                f"but it belongs to {owner!r}"
+            )
+    for rule in documented:
+        if rule not in rule_owners:
+            problems.append(
+                f"docs/LINT.md catalogues {rule!r}, which no shipped "
+                f"pass (or the engine) emits"
+            )
+    return problems
+
+
 def main() -> int:
     """Run the check; print drift and return the exit code."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -294,6 +338,22 @@ def main() -> int:
                 list(SERVE_BENCH_FIELDS),
             )
         )
+    from repro.lint.findings import RULES
+    from repro.lint.passes import build_passes
+
+    rule_owners = {"PAR001": "engine"}
+    for instance in build_passes(None):
+        for rule in instance.rules:
+            rule_owners[rule] = instance.name
+    # RULES and the pass registry must agree before the doc can.
+    for rule in RULES:
+        rule_owners.setdefault(rule, "engine")
+    if not LINT_DOC_PATH.exists():
+        problems.append("docs/LINT.md is missing")
+    else:
+        problems.extend(
+            check_lint_doc(LINT_DOC_PATH.read_text(), rule_owners)
+        )
     if problems:
         for problem in problems:
             print(f"DRIFT: {problem}", file=sys.stderr)
@@ -306,7 +366,8 @@ def main() -> int:
         f"docs/PERFORMANCE.md in sync: {len(BENCH_FIELDS)} bench fields "
         f"+ {len(HET_BENCH_FIELDS)} het bench fields; "
         f"docs/SERVE.md in sync: {len(OPS)} ops, "
-        f"{len(SERVE_BENCH_FIELDS)} serve bench fields"
+        f"{len(SERVE_BENCH_FIELDS)} serve bench fields; "
+        f"docs/LINT.md in sync: {len(rule_owners)} rules catalogued"
     )
     return 0
 

@@ -2,8 +2,10 @@
 # The CI gate, in the order a failure is cheapest to report:
 #
 #   1. `repro lint --strict`  — the invariant linter (repro.lint) over
-#      the source tree, with the checked-in (empty) baseline; a stale
-#      baseline entry also fails, so the baseline can only shrink.
+#      src/repro, tools/ and benchmarks/, with the checked-in (empty)
+#      baseline; a stale baseline entry also fails, so the baseline can
+#      only shrink. A second (index-cached) run writes the SARIF
+#      artifact to benchmarks/results/lint.sarif.
 #   2. docs/schema sync        — tools/check_obs_docs.py keeps
 #      docs/OBSERVABILITY.md, docs/FAULTS.md and docs/PERFORMANCE.md
 #      truthful.
@@ -39,7 +41,14 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== repro lint --strict =="
-python -m repro lint --strict
+python -m repro lint --strict src/repro tools benchmarks
+
+echo "== lint SARIF artifact =="
+# Second run hits the whole-program index cache, so this costs only
+# the per-file phase; the artifact lands next to the bench results.
+mkdir -p benchmarks/results
+python -m repro lint --format sarif src/repro tools benchmarks \
+    > benchmarks/results/lint.sarif
 
 echo "== docs/schema sync =="
 python tools/check_obs_docs.py

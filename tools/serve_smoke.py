@@ -52,6 +52,9 @@ def main() -> int:
         stderr=subprocess.STDOUT,
         text=True,
     )
+    # Real wall-clock on purpose: this smoke test times out a live
+    # subprocess, not simulated events.
+    # lint: disable=DET003
     deadline = time.monotonic() + TIMEOUT_S
     try:
         # The service announces its ephemeral port on stdout.
@@ -62,7 +65,7 @@ def main() -> int:
             if match:
                 port = int(match.group(2))
                 break
-            if time.monotonic() > deadline:
+            if time.monotonic() > deadline:  # lint: disable=DET003
                 raise TimeoutError("service never announced its port")
         if port is None:
             raise RuntimeError("service exited before announcing its port")
@@ -79,7 +82,9 @@ def main() -> int:
             assert status["jobs_submitted"] == 3, status
             client.shutdown(drain=True)
 
-        returncode = proc.wait(timeout=max(1.0, deadline - time.monotonic()))
+        returncode = proc.wait(  # lint: disable=DET003
+            timeout=max(1.0, deadline - time.monotonic())
+        )
         tail = proc.stdout.read()
         if returncode != 0:
             print(tail)
